@@ -1,0 +1,28 @@
+"""Shared driver for the six bandwidth figures (Figures 3-8)."""
+
+from __future__ import annotations
+
+from repro.analysis import Figure
+from repro.cluster import TestbedConfig, run_job
+from repro.workloads import bandwidth_program
+
+from benchmarks.conftest import SCHEMES
+
+WINDOWS = [1, 2, 4, 8, 16, 32, 64, 100]
+
+
+def run_bw_figure(title: str, size: int, prepost: int, blocking: bool,
+                  windows=None) -> Figure:
+    fig = Figure(title, xlabel="window", ylabel="MB/s")
+    cfg = TestbedConfig(nodes=2)
+    for scheme in SCHEMES:
+        for window in windows or WINDOWS:
+            r = run_job(
+                bandwidth_program(size, window, repetitions=10, blocking=blocking),
+                2,
+                scheme,
+                prepost=prepost,
+                config=cfg,
+            )
+            fig.add(scheme, window, r.rank_results[0].mbps)
+    return fig

@@ -1,0 +1,36 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Each bench regenerates one table or figure from the paper's evaluation
+(§6), prints it, writes it under ``benchmarks/results/`` and asserts the
+paper's *shape* criteria (who wins, roughly by how much, where the
+crossovers are) — never absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's three schemes in presentation order.
+SCHEMES = ("hardware", "static", "dynamic")
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a rendered figure/table and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def record_result():
+    return save_result
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

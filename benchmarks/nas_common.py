@@ -1,0 +1,31 @@
+"""Shared driver for the NAS figure/table benchmarks (Figures 9-10,
+Tables 1-2).  Results of the expensive runs are cached per (kernel,
+scheme, prepost) within one pytest session so Figure 9, Figure 10 and the
+two tables share a single sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cluster import run_job
+from repro.cluster.job import JobResult
+from repro.workloads.nas import KERNEL_ORDER, KERNELS
+
+_cache: Dict[Tuple[str, str, int], JobResult] = {}
+
+
+def nas_run(kernel: str, scheme: str, prepost: int) -> JobResult:
+    key = (kernel, scheme, prepost)
+    if key not in _cache:
+        k = KERNELS[kernel]
+        _cache[key] = run_job(k.build(), k.nranks, scheme, prepost=prepost)
+    return _cache[key]
+
+
+def full_sweep(prepost: int) -> Dict[Tuple[str, str], JobResult]:
+    out = {}
+    for kernel in KERNEL_ORDER:
+        for scheme in ("hardware", "static", "dynamic"):
+            out[(kernel, scheme)] = nas_run(kernel, scheme, prepost)
+    return out

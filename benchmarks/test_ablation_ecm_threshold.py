@@ -1,0 +1,43 @@
+"""Ablation — the explicit-credit-message threshold (paper §6.3.1).
+
+The paper: *"the number of explicit credit messages depends on a threshold
+credit value ... Currently we use a relatively small threshold value of 5.
+Performance can be improved by increasing this value for LU."*  We sweep
+the threshold on the LU proxy (static scheme, pre-post = 100) and check
+both halves of that claim: higher thresholds send fewer ECMs, and LU's
+runtime does not get worse.
+"""
+
+from repro.analysis import Table
+from repro.cluster import run_job
+from repro.core import StaticScheme
+from repro.workloads.nas import KERNELS
+
+from benchmarks.conftest import run_once, save_result
+
+THRESHOLDS = [2, 5, 10, 20]
+
+
+def run_table() -> Table:
+    table = Table(
+        "Ablation: ECM threshold on LU (static, pre-post=100)",
+        ["ecm_msgs", "ecm_share_%", "runtime_s"],
+    )
+    k = KERNELS["lu"]
+    for t in THRESHOLDS:
+        r = run_job(k.build(), k.nranks, StaticScheme(ecm_threshold=t), prepost=100)
+        table.add_row(f"t={t}", r.fc.ecm_msgs, 100 * r.fc.ecm_fraction, r.elapsed_s)
+    return table
+
+
+def test_ablation_ecm_threshold(benchmark):
+    table = run_once(benchmark, run_table)
+    save_result("ablation_ecm_threshold", table.render())
+
+    ecms = [table.value(f"t={t}", "ecm_msgs") for t in THRESHOLDS]
+    assert ecms == sorted(ecms, reverse=True), "higher threshold → fewer ECMs"
+    assert ecms[0] > 2 * ecms[-1]
+
+    # "Performance can be improved by increasing this value for LU":
+    # runtime at t=20 is no worse than at t=2.
+    assert table.value("t=20", "runtime_s") <= table.value("t=2", "runtime_s") * 1.02

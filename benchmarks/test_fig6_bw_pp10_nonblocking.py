@@ -1,0 +1,42 @@
+"""Figure 6 — bandwidth, 4-byte messages, pre-post = 10, non-blocking.
+
+Paper finding: same ordering as Figure 5 (dynamic adapts, static worst),
+and — the subtle one — *the blocking version beats the non-blocking one
+for the user-level static scheme*: a blocking sender paces itself and
+picks up piggybacked credits through the rendezvous-fallback handshake,
+while a non-blocking sender dumps the whole window into the backlog.
+"""
+
+from benchmarks.bw_common import run_bw_figure
+from benchmarks.conftest import run_once, save_result
+
+WINDOWS = [1, 2, 4, 8, 16, 32, 64, 100]
+
+
+def run_both():
+    nb = run_bw_figure(
+        "Figure 6: BW 4B msgs, pre-post=10, non-blocking",
+        size=4, prepost=10, blocking=False, windows=WINDOWS,
+    )
+    bl = run_bw_figure(
+        "(companion) blocking static for the Fig 5/6 comparison",
+        size=4, prepost=10, blocking=True, windows=WINDOWS,
+    )
+    return nb, bl
+
+
+def test_fig6(benchmark):
+    nb, bl = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    save_result("fig6_bw_pp10_nonblocking", nb.render(fmt="{:>12.3f}"))
+
+    hw, st, dy = (nb.series_named(s) for s in ("hardware", "static", "dynamic"))
+    for w in (16, 32, 64, 100):
+        assert st.y_at(w) < 0.85 * dy.y_at(w)
+        assert dy.y_at(w) > 0.85 * hw.y_at(w)
+
+    # Blocking beats non-blocking for the credit-starved static scheme.
+    st_blocking = bl.series_named("static")
+    for w in (16, 64, 100):
+        assert st_blocking.y_at(w) > st.y_at(w), (
+            f"blocking static should beat non-blocking at window {w}"
+        )

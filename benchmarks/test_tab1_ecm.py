@@ -1,0 +1,42 @@
+"""Table 1 — explicit credit messages under the user-level static scheme
+(pre-post = 100).
+
+Paper finding: for LU, ECMs make up a significant share of all messages
+(≈ 18 % — sweep traffic is one-directional for 64 planes at a time, so
+credits cannot piggyback); for every other application there are almost no
+explicit credit messages.
+"""
+
+from repro.analysis import Table
+from repro.workloads.nas import KERNEL_ORDER
+
+from benchmarks.conftest import run_once, save_result
+from benchmarks.nas_common import nas_run
+
+
+def run_table() -> Table:
+    table = Table(
+        "Table 1: Explicit credit messages, user-level static (pre-post=100)",
+        ["ecm_msgs", "total_msgs", "ecm_share_%", "ecm_per_conn"],
+    )
+    for kernel in KERNEL_ORDER:
+        r = nas_run(kernel, "static", 100)
+        table.add_row(
+            kernel,
+            r.fc.ecm_msgs,
+            r.fc.total_msgs,
+            100.0 * r.fc.ecm_fraction,
+            r.fc.avg_ecm_per_connection,
+        )
+    return table
+
+
+def test_tab1(benchmark):
+    table = run_once(benchmark, run_table)
+    save_result("tab1_ecm", table.render())
+
+    # LU: a significant ECM share (paper: 18 %).
+    assert table.value("lu", "ecm_share_%") > 10.0
+    # Everyone else: almost none.
+    for kernel in ("is", "ft", "cg", "mg", "bt", "sp"):
+        assert table.value(kernel, "ecm_share_%") < 1.0, kernel

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Write your own MPI workload: a 2-D Jacobi stencil with halo exchange.
+
+Demonstrates the pieces a downstream user combines:
+
+* a generator program with non-blocking halo exchanges, collectives for
+  the convergence check, and per-rank compute;
+* ``buffer_id`` to let the pin-down cache amortise rendezvous pinning;
+* inspecting the dynamic scheme's adaptation per *connection* afterwards
+  (which neighbours needed how many buffers).
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.cluster import TestbedConfig, run_job
+from repro.core import DynamicScheme, per_connection_max_buffers
+from repro.sim.units import seconds, us
+
+GRID = 4096  # global N x N cells, double precision
+ITERATIONS = 30
+
+
+def jacobi(mpi):
+    """1-D strip decomposition of an N x N Jacobi sweep."""
+    P, rank = mpi.world_size, mpi.rank
+    rows = GRID // P
+    halo_bytes = GRID * 8  # one boundary row of doubles
+    up = rank - 1 if rank > 0 else -1
+    down = rank + 1 if rank < P - 1 else -1
+    flops_per_cell = 5
+    compute_ns = int(rows * GRID * flops_per_cell / 4.8)  # ~4.8 GFLOP/s Xeon
+
+    residual_history = []
+    for it in range(ITERATIONS):
+        # post halo receives first, then send our boundary rows
+        reqs = []
+        for nbr, which in ((up, "top"), (down, "bottom")):
+            if nbr >= 0:
+                r = yield from mpi.irecv(source=nbr, capacity=halo_bytes,
+                                         tag=it % 2, buffer_id=("halo-in", which))
+                reqs.append(r)
+        for nbr, which in ((up, "top"), (down, "bottom")):
+            if nbr >= 0:
+                r = yield from mpi.isend(nbr, size=halo_bytes, tag=it % 2,
+                                         buffer_id=("halo-out", which))
+                reqs.append(r)
+        # interior update overlaps with the halo exchange
+        yield from mpi.compute(compute_ns)
+        yield from mpi.waitall(reqs)
+        # global convergence check every few sweeps
+        if it % 5 == 4:
+            residual = yield from mpi.allreduce(size=8, value=1.0 / (it + 1),
+                                                op=max)
+            residual_history.append(residual)
+    return residual_history
+
+
+def main():
+    scheme = DynamicScheme()  # the paper's adaptive scheme
+    result = run_job(jacobi, nranks=8, scheme=scheme, prepost=1,
+                     config=TestbedConfig(nodes=8))
+
+    print(f"Jacobi {GRID}x{GRID}, {ITERATIONS} sweeps on 8 simulated nodes")
+    print(f"  simulated wall time : {seconds(result.elapsed_ns)*1e3:.2f} ms")
+    print(f"  messages sent       : {result.fc.total_msgs}")
+    print(f"  residual checkpoints: {[round(r, 3) for r in result.rank_results[0]]}")
+
+    print("\nDynamic flow control adapted each connection to its traffic:")
+    grown = idle = 0
+    for (rank, peer), buffers in sorted(per_connection_max_buffers(result.endpoints).items()):
+        if buffers > 1:
+            print(f"  rank {rank} <- {peer}: grew to {buffers} buffers")
+            grown += 1
+        else:
+            idle += 1
+    print(
+        f"\n{grown} connections that actually carry traffic (halo neighbours\n"
+        f"and the reduction tree) grew; the other {idle} connections of the\n"
+        "all-to-all mesh stayed at a single buffer each — buffer usage\n"
+        "scales with the communication graph, not the process count, which\n"
+        "is the paper's scalability argument for large clusters."
+    )
+
+
+if __name__ == "__main__":
+    main()

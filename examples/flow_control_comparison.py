@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Watch the three flow-control schemes diverge under buffer pressure.
+
+A sender floods a *computing* receiver (the application-bypass window in
+which no vbuf can be re-posted) with small messages, with only a handful
+of receive buffers pre-posted per connection — the regime of the paper's
+Figures 5-6 and 10.
+
+* hardware  — messages bounce off the full receive queue (RNR NAK) and the
+  sender idles out retry timers;
+* static    — sends divert to the backlog and trickle out via explicit
+  credit messages and rendezvous-fallback handshakes;
+* dynamic   — the receiver notices the went-through-backlog feedback bit,
+  doubles its buffer pool until the burst fits, and the flood runs free.
+
+Run:  python examples/flow_control_comparison.py
+"""
+
+from repro.cluster import TestbedConfig, run_job
+from repro.sim.units import to_us
+
+
+N_MESSAGES = 400
+RECEIVER_COMPUTE_NS = 8_000  # per-message "work" at the receiver
+
+
+def flood(mpi):
+    peer = 1 - mpi.rank
+    if mpi.rank == 0:  # the fast sender
+        requests = []
+        for i in range(N_MESSAGES):
+            req = yield from mpi.isend(peer, size=4, tag=0, payload=i)
+            requests.append(req)
+        yield from mpi.waitall(requests)
+    else:  # the slow receiver: computes between receives
+        for i in range(N_MESSAGES):
+            status = yield from mpi.recv(source=0, capacity=64, tag=0)
+            assert status.payload == i
+            yield from mpi.compute(RECEIVER_COMPUTE_NS)
+
+
+def main():
+    config = TestbedConfig(nodes=2)
+    print(f"{N_MESSAGES} x 4-byte flood into a busy receiver, pre-post = 2:\n")
+    header = (
+        f"  {'scheme':>8} {'time':>10} {'RNR NAKs':>9} {'retransmits':>12} "
+        f"{'ECMs':>6} {'backlogged':>11} {'max buffers':>12}"
+    )
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for scheme in ("hardware", "static", "dynamic"):
+        r = run_job(flood, nranks=2, scheme=scheme, prepost=2, config=config)
+        print(
+            f"  {scheme:>8} {to_us(r.elapsed_ns):>8.0f}us {r.fc.rnr_naks:>9} "
+            f"{r.fc.retransmissions:>12} {r.fc.ecm_msgs:>6} "
+            f"{r.fc.backlogged_msgs:>11} {r.fc.max_posted_buffers:>12}"
+        )
+    print(
+        "\nThe dynamic scheme converts buffer starvation into a one-time\n"
+        "growth transient: it ends up fastest *and* reports how many buffers\n"
+        "the pattern actually needed (the paper's Table 2 methodology)."
+    )
+
+
+if __name__ == "__main__":
+    main()

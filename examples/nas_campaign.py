@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's NAS evaluation in miniature.
+
+Runs a subset of the NAS Parallel Benchmark proxies under every flow
+control scheme at pre-post depths 100 and 1, and prints the Figure-10
+degradation table plus the Table-1/Table-2 flow-control statistics.
+
+The full campaign (all seven kernels) lives in the benchmark harness
+(``pytest benchmarks/ --benchmark-only``); this example keeps to the three
+most interesting kernels so it finishes in under a minute.
+
+Run:  python examples/nas_campaign.py [kernels...]
+      python examples/nas_campaign.py lu mg cg is ft bt sp   # everything
+"""
+
+import sys
+
+from repro.analysis import Table, pct_change
+from repro.cluster import run_job
+from repro.workloads.nas import KERNELS
+
+DEFAULT_KERNELS = ("lu", "mg", "cg")
+SCHEMES = ("hardware", "static", "dynamic")
+
+
+def main():
+    kernels = sys.argv[1:] or DEFAULT_KERNELS
+    for name in kernels:
+        if name not in KERNELS:
+            raise SystemExit(f"unknown kernel {name!r}; pick from {sorted(KERNELS)}")
+
+    degradation = Table("Degradation going from pre-post=100 to pre-post=1 (%)",
+                        list(SCHEMES))
+    fc_stats = Table("Flow control statistics",
+                     ["ecm_share_%", "max_buffers_dynamic", "hw_rnr_naks_pp1"])
+
+    for name in kernels:
+        k = KERNELS[name]
+        print(f"running {name} ({k.nranks} ranks: {k.description}) ...",
+              flush=True)
+        row = []
+        extras = {}
+        for scheme in SCHEMES:
+            base = run_job(k.build(), k.nranks, scheme, prepost=100)
+            starved = run_job(k.build(), k.nranks, scheme, prepost=1)
+            row.append(pct_change(starved.elapsed_ns, base.elapsed_ns))
+            if scheme == "static":
+                extras["ecm"] = 100.0 * base.fc.ecm_fraction
+            elif scheme == "dynamic":
+                extras["maxbuf"] = starved.fc.max_posted_buffers
+            else:
+                extras["naks"] = starved.fc.rnr_naks
+        degradation.add_row(name, *row)
+        fc_stats.add_row(name, extras["ecm"], extras["maxbuf"], extras["naks"])
+
+    print()
+    print(degradation.render())
+    print()
+    print(fc_stats.render())
+    print(
+        "\nReading guide (paper Figures 9-10, Tables 1-2):\n"
+        "  * dynamic stays flat everywhere — it adapts the buffer pool;\n"
+        "  * hardware collapses on LU/MG (RNR timeout storms, see naks);\n"
+        "  * static loses the most on LU, whose one-directional sweeps\n"
+        "    also force it to ship credits explicitly (ecm_share).\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

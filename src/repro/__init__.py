@@ -1,0 +1,68 @@
+"""repro — reproduction of *Implementing Efficient and Scalable Flow Control
+Schemes in MPI over InfiniBand* (Jiuxing Liu and Dhabaleswar K. Panda,
+IPPS 2004).
+
+The package is a self-contained, laptop-scale reproduction of the paper's
+system stack.  Because the original study requires an 8-node InfiniBand
+cluster, every hardware layer is substituted by a calibrated discrete-event
+simulation (see ``DESIGN.md`` for the substitution argument):
+
+``repro.sim``
+    A from-scratch discrete-event simulation kernel (integer-nanosecond
+    clock, coroutine processes, one-shot signals).
+
+``repro.ib``
+    An InfiniBand substrate: queue pairs, completion queues, memory
+    registration, Reliable Connection transport with RNR NAK / retry
+    semantics, links, a crossbar switch and host-bus (PCI-X) modelling.
+
+``repro.mpi``
+    An MPICH/ADI-style MPI library over the verbs layer: eager and
+    rendezvous (zero-copy RDMA write) protocols, a pre-pinned buffer pool,
+    matching queues, a progress engine, point-to-point and collective
+    operations.
+
+``repro.core``
+    The paper's contribution — three pluggable flow-control schemes:
+    hardware-based, user-level static (credit based with piggybacking and
+    explicit credit messages) and user-level dynamic (feedback-driven
+    buffer growth).
+
+``repro.cluster``
+    Testbed configuration (timing calibration) and a cluster builder / job
+    launcher.
+
+``repro.workloads``
+    Micro-benchmarks (latency, bandwidth) and NAS Parallel Benchmark
+    communication-skeleton proxies (IS, FT, LU, CG, MG, BT, SP).
+
+``repro.analysis``
+    Series/table collection helpers used by the benchmark harness.
+"""
+
+from repro.cluster import Cluster, JobResult, TestbedConfig, run_job
+from repro.core import (
+    ALL_SCHEMES,
+    DynamicScheme,
+    FlowControlScheme,
+    HardwareScheme,
+    SchemeName,
+    StaticScheme,
+    make_scheme,
+)
+
+__all__ = [
+    "ALL_SCHEMES",
+    "Cluster",
+    "DynamicScheme",
+    "FlowControlScheme",
+    "HardwareScheme",
+    "JobResult",
+    "SchemeName",
+    "StaticScheme",
+    "TestbedConfig",
+    "make_scheme",
+    "run_job",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,121 @@
+"""Table and figure-series rendering for the benchmark harness.
+
+Every bench prints the rows/series the paper reports, via these helpers,
+so ``pytest benchmarks/ --benchmark-only`` output doubles as the
+EXPERIMENTS.md raw data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Series:
+    """One labelled curve of an x-y figure."""
+
+    label: str
+    points: List[tuple] = field(default_factory=list)
+
+    def add(self, x, y) -> None:
+        self.points.append((x, y))
+
+    def y_at(self, x):
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"{self.label}: no point at x={x}")
+
+    @property
+    def ys(self) -> List:
+        return [y for _, y in self.points]
+
+
+class Figure:
+    """A collection of series sharing an x-axis, printable as a table."""
+
+    def __init__(self, title: str, xlabel: str = "x", ylabel: str = "y"):
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.series: Dict[str, Series] = {}
+
+    def series_named(self, label: str) -> Series:
+        if label not in self.series:
+            self.series[label] = Series(label)
+        return self.series[label]
+
+    def add(self, label: str, x, y) -> None:
+        self.series_named(label).add(x, y)
+
+    def render(self, fmt: str = "{:>12.2f}") -> str:
+        xs: List = []
+        for s in self.series.values():
+            for x, _ in s.points:
+                if x not in xs:
+                    xs.append(x)
+        lines = [f"== {self.title} ==", f"   {self.ylabel} vs {self.xlabel}"]
+        header = f"{self.xlabel:>12} | " + " | ".join(
+            f"{label:>12}" for label in self.series
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for x in xs:
+            cells = []
+            for s in self.series.values():
+                try:
+                    cells.append(fmt.format(s.y_at(x)))
+                except KeyError:
+                    cells.append(" " * 12)
+            lines.append(f"{str(x):>12} | " + " | ".join(cells))
+        return "\n".join(lines)
+
+
+class Table:
+    """A paper-style table: named rows × named columns."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[tuple] = []
+
+    def add_row(self, name: str, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.title}: row {name!r} has {len(values)} values, "
+                f"expected {len(self.columns)}"
+            )
+        self.rows.append((name, values))
+
+    def value(self, row: str, column: str):
+        ci = self.columns.index(column)
+        for name, values in self.rows:
+            if name == row:
+                return values[ci]
+        raise KeyError(f"{self.title}: no row {row!r}")
+
+    def render(self) -> str:
+        widths = [max(12, len(c) + 2) for c in self.columns]
+        name_w = max([len("app")] + [len(n) for n, _ in self.rows]) + 2
+        lines = [f"== {self.title} =="]
+        lines.append(
+            f"{'app':<{name_w}}" + "".join(f"{c:>{w}}" for c, w in zip(self.columns, widths))
+        )
+        lines.append("-" * (name_w + sum(widths)))
+        for name, values in self.rows:
+            cells = []
+            for v, w in zip(values, widths):
+                if isinstance(v, float):
+                    cells.append(f"{v:>{w}.2f}")
+                else:
+                    cells.append(f"{str(v):>{w}}")
+            lines.append(f"{name:<{name_w}}" + "".join(cells))
+        return "\n".join(lines)
+
+
+def pct_change(new: float, old: float) -> float:
+    """Percentage change, the Figure-10 metric."""
+    if old == 0:
+        return 0.0
+    return 100.0 * (new - old) / old

@@ -1,0 +1,7 @@
+"""Cluster modelling: testbed configuration, cluster building, job running."""
+
+from repro.cluster.builder import Cluster
+from repro.cluster.config import TestbedConfig
+from repro.cluster.job import JobResult, Program, run_job
+
+__all__ = ["Cluster", "JobResult", "Program", "TestbedConfig", "run_job"]

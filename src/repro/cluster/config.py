@@ -1,0 +1,61 @@
+"""Testbed configuration: the simulated counterpart of the paper's cluster.
+
+The paper's testbed (§6.1): 8 SuperMicro SUPER P4DL6 nodes, dual 2.4 GHz
+Xeons, Mellanox InfiniHost MT23108 4X HCAs on PCI-X 64/133, one InfiniScale
+MT43132 8-port switch, Linux RH 7.2.
+
+:class:`TestbedConfig` composes the hardware model (:class:`IBConfig`) with
+the MPI software model (:class:`MPIConfig`) and the cluster shape.  The
+defaults are calibrated (``tests/test_calibration.py``) to the paper's two
+anchor numbers: ≈7.5 µs 4-byte MPI latency for the send/recv-based
+implementation and ≈860 MB/s peak large-message bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ib.types import IBConfig
+from repro.mpi.config import MPIConfig
+
+
+@dataclass
+class TestbedConfig:
+    """Everything needed to build a simulated cluster.
+
+    Attributes
+    ----------
+    nodes:
+        Number of physical nodes (each with one HCA); the paper uses 8.
+    ib:
+        Hardware timing model.
+    mpi:
+        MPI software timing model.
+    seed:
+        Seed for any stochastic workload elements (compute jitter).  The
+        simulator itself is deterministic; this seeds workload RNGs.
+    """
+
+    #: keep pytest from collecting this dataclass as a test class
+    __test__ = False
+
+    nodes: int = 8
+    ib: IBConfig = field(default_factory=IBConfig)
+    mpi: MPIConfig = field(default_factory=MPIConfig)
+    seed: int = 20040426  # IPPS 2004 conference date
+
+    #: "crossbar" = the testbed's single InfiniScale switch;
+    #: "fat-tree" = two-level leaf/spine for larger simulated clusters.
+    topology: str = "crossbar"
+    leaf_ports: int = 8  # hosts per leaf switch (fat-tree only)
+    spines: int = 2  # spine switches (fat-tree only)
+
+    def with_(self, **kwargs) -> "TestbedConfig":
+        """Functional update (``cfg.with_(nodes=4)``)."""
+        return replace(self, **kwargs)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("need at least one node")
+        if self.topology not in ("crossbar", "fat-tree"):
+            raise ValueError(f"unknown topology {self.topology!r}")

@@ -1,0 +1,59 @@
+"""The paper's contribution: three flow-control schemes for MPI over
+InfiniBand.
+
+* :class:`HardwareScheme` — rely on IBA end-to-end flow control (RNR NAK +
+  timer retry); zero software overhead, no adaptivity.
+* :class:`StaticScheme` — user-level credits fixed at init, returned via
+  piggybacking and explicit credit messages; optimistic (non-flow-
+  controlled) ECMs avoid deadlock.
+* :class:`DynamicScheme` — static's machinery plus feedback-driven growth
+  of the per-connection pre-post depth (went-through-backlog bit).
+
+Use :func:`make_scheme` to construct by name — the benchmark harness and
+examples do.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.base import FlowControlScheme, SchemeName
+from repro.core.dynamic import DynamicScheme
+from repro.core.hardware import HardwareScheme
+from repro.core.static import DEFAULT_ECM_THRESHOLD, StaticScheme
+from repro.core.stats import FlowControlReport, collect_report, per_connection_max_buffers
+
+#: The canonical evaluation order used by every figure in the paper.
+ALL_SCHEMES = (SchemeName.HARDWARE, SchemeName.STATIC, SchemeName.DYNAMIC)
+
+
+def make_scheme(name: Union[str, SchemeName], **kwargs) -> FlowControlScheme:
+    """Build a scheme by name (``"hardware"``, ``"static"``, ``"dynamic"``).
+
+    Keyword arguments are forwarded to the scheme constructor (e.g.
+    ``ecm_threshold=5``, ``growth_step=2``, ``exponential=True``).
+    """
+    if isinstance(name, SchemeName):
+        name = name.value
+    if name == SchemeName.HARDWARE.value:
+        return HardwareScheme(**kwargs)
+    if name == SchemeName.STATIC.value:
+        return StaticScheme(**kwargs)
+    if name == SchemeName.DYNAMIC.value:
+        return DynamicScheme(**kwargs)
+    raise ValueError(f"unknown flow control scheme {name!r}")
+
+
+__all__ = [
+    "ALL_SCHEMES",
+    "DEFAULT_ECM_THRESHOLD",
+    "DynamicScheme",
+    "FlowControlReport",
+    "FlowControlScheme",
+    "HardwareScheme",
+    "SchemeName",
+    "StaticScheme",
+    "collect_report",
+    "make_scheme",
+    "per_connection_max_buffers",
+]

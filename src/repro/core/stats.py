@@ -1,0 +1,82 @@
+"""Aggregation of per-connection statistics into the paper's table rows.
+
+Table 1 reports, for the user-level static scheme, the *average number of
+explicit credit messages per connection at each process* next to the total
+message count.  Table 2 reports the *maximum number of posted buffers for
+every connection at every process* under the dynamic scheme.  The helpers
+here compute both from a finished job's endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.endpoint import Endpoint
+
+
+@dataclass
+class FlowControlReport:
+    """Job-wide flow-control summary."""
+
+    total_msgs: int
+    data_msgs: int
+    ecm_msgs: int
+    backlogged_msgs: int
+    rndv_fallbacks: int
+    max_posted_buffers: int
+    avg_ecm_per_connection: float
+    piggybacked_credits: int
+    ecm_credits: int
+    rnr_naks: int
+    retransmissions: int
+
+    @property
+    def ecm_fraction(self) -> float:
+        """ECMs as a share of all messages (the paper's 18 % LU headline)."""
+        return self.ecm_msgs / self.total_msgs if self.total_msgs else 0.0
+
+
+def collect_report(endpoints: Iterable["Endpoint"]) -> FlowControlReport:
+    """Aggregate every endpoint's connections into one report."""
+    total = data = ecm = backlogged = fallbacks = 0
+    piggy = ecmc = naks = retrans = 0
+    max_posted = 0
+    conn_count = 0
+    for ep in endpoints:
+        for conn in ep.connections.values():
+            s = conn.stats
+            conn_count += 1
+            total += s.msgs_sent
+            data += s.data_msgs_sent
+            ecm += s.ecm_sent
+            backlogged += s.backlogged
+            fallbacks += s.rndv_fallbacks
+            piggy += s.piggybacked_credits
+            ecmc += s.ecm_credits
+            max_posted = max(max_posted, s.max_prepost)
+            naks += conn.qp.rnr_naks_received
+            retrans += conn.qp.retransmissions
+    return FlowControlReport(
+        total_msgs=total,
+        data_msgs=data,
+        ecm_msgs=ecm,
+        backlogged_msgs=backlogged,
+        rndv_fallbacks=fallbacks,
+        max_posted_buffers=max_posted,
+        avg_ecm_per_connection=(ecm / conn_count) if conn_count else 0.0,
+        piggybacked_credits=piggy,
+        ecm_credits=ecmc,
+        rnr_naks=naks,
+        retransmissions=retrans,
+    )
+
+
+def per_connection_max_buffers(endpoints: Iterable["Endpoint"]) -> Dict[tuple, int]:
+    """(rank, peer) → high-water prepost_target (Table 2 raw data)."""
+    out = {}
+    for ep in endpoints:
+        for peer, conn in ep.connections.items():
+            out[(ep.rank, peer)] = conn.stats.max_prepost
+    return out

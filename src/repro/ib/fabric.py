@@ -1,0 +1,140 @@
+"""The wire: host links, a crossbar switch, and contention.
+
+Topology matches the paper's testbed: every node's HCA connects by one 4X
+link to a single InfiniScale-style crossbar (8 ports there; any port count
+here).  The model is *virtual cut-through* at message granularity:
+
+* each unidirectional link keeps a ``busy_until`` time; a message reserves
+  the link FIFO-fashion for its serialisation time ``wire_bytes / rate``;
+* the switch adds a fixed pipeline delay per traversal;
+* the message's last byte reaches the destination HCA at
+  ``max(output-port free, head arrival) + serialisation``.
+
+Acknowledgements and NAKs travel the same fixed-latency path but, being a
+few dozen bytes, are not charged link occupancy (they ride header gaps),
+which keeps the event count per message low.
+
+Same-node traffic (two ranks per node in the 16-process runs) takes an HCA
+loopback path: no switch hop, bandwidth limited by the host bus.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.ib.types import IBConfig
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+from repro.sim.units import transfer_ns
+
+
+class FabricError(RuntimeError):
+    pass
+
+
+class Fabric:
+    """Single-switch IBA subnet with per-link FIFO contention."""
+
+    def __init__(self, sim: Simulator, config: IBConfig, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.config = config
+        self.tracer = tracer or Tracer(enabled=False)
+        # busy_until per unidirectional link, keyed by LID
+        self._up_busy: Dict[int, int] = {}
+        self._down_busy: Dict[int, int] = {}
+        self._lids: Dict[int, Any] = {}  # lid -> HCA (deliver target)
+        # observability
+        self.messages_sent = 0
+        self.payload_bytes = 0
+        self.wire_bytes = 0
+        self.control_msgs = 0
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def attach(self, lid: int, hca: Any) -> None:
+        """Connect an HCA at ``lid``.  The HCA must expose
+        ``_deliver(message)`` for inbound traffic."""
+        if lid in self._lids:
+            raise FabricError(f"LID {lid} already attached")
+        self._lids[lid] = hca
+        self._up_busy[lid] = 0
+        self._down_busy[lid] = 0
+
+    def hca_at(self, lid: int) -> Any:
+        try:
+            return self._lids[lid]
+        except KeyError:
+            raise FabricError(f"no HCA at LID {lid}") from None
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def transmit(self, src_lid: int, dst_lid: int, payload_bytes: int, message: Any) -> int:
+        """Inject a message; returns (and schedules delivery at) the arrival
+        time of its last byte at the destination HCA.
+
+        Must be called from within a simulation event at the moment the
+        source HCA finishes staging the message (DMA complete).
+        """
+        cfg = self.config
+        if dst_lid not in self._lids:
+            raise FabricError(f"no HCA at LID {dst_lid}")
+        now = self.sim.now
+        self.messages_sent += 1
+        self.payload_bytes += max(0, payload_bytes)
+
+        if src_lid == dst_lid:
+            # HCA-internal loopback: no switch, host-bus limited.
+            ser = transfer_ns(cfg.wire_bytes(payload_bytes), cfg.pci_bytes_per_ns)
+            arrival = now + cfg.loopback_ns + ser
+            self.sim.schedule_at(arrival, self._lids[dst_lid]._deliver, message)
+            return arrival
+
+        wire = cfg.wire_bytes(payload_bytes)
+        self.wire_bytes += wire
+        ser = transfer_ns(wire, cfg.effective_bytes_per_ns())
+
+        # host -> switch link (FIFO)
+        start_up = max(now, self._up_busy[src_lid])
+        self._up_busy[src_lid] = start_up + ser
+        head_at_output = start_up + cfg.link_prop_ns + cfg.switch_delay_ns
+
+        # switch -> host link (FIFO, cut-through from head arrival)
+        start_down = max(head_at_output, self._down_busy[dst_lid])
+        self._down_busy[dst_lid] = start_down + ser
+
+        arrival = start_down + ser + cfg.link_prop_ns
+        self.sim.schedule_at(arrival, self._lids[dst_lid]._deliver, message)
+        self.tracer.record(now, "fabric.tx", src_lid, dst_lid, payload_bytes, arrival)
+        return arrival
+
+    # ------------------------------------------------------------------
+    # control path (ACK / NAK / credit updates)
+    # ------------------------------------------------------------------
+    def control_path_ns(self, src_lid: int, dst_lid: int) -> int:
+        """Fixed latency of a small control packet from src to dst."""
+        cfg = self.config
+        if src_lid == dst_lid:
+            return cfg.loopback_ns
+        ser = transfer_ns(cfg.ack_bytes, cfg.link_rate.bytes_per_ns)
+        return 2 * cfg.link_prop_ns + cfg.switch_delay_ns + ser
+
+    def send_control(
+        self, src_lid: int, dst_lid: int, callback: Callable, *args: Any
+    ) -> int:
+        """Deliver a control packet (uncontended fixed-latency path)."""
+        self.control_msgs += 1
+        arrival = self.sim.now + self.control_path_ns(src_lid, dst_lid)
+        self.sim.schedule_at(arrival, callback, *args)
+        return arrival
+
+    def idle(self) -> bool:
+        """True when no link reservation extends past the current time."""
+        now = self.sim.now
+        return all(b <= now for b in self._up_busy.values()) and all(
+            b <= now for b in self._down_busy.values()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Fabric lids={sorted(self._lids)} msgs={self.messages_sent}>"

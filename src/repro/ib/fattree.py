@@ -1,0 +1,122 @@
+"""Two-level fat-tree fabric — the topology of the large clusters the
+paper's introduction targets ("in the order of 1,000 to 10,000 nodes").
+
+The single-crossbar :class:`~repro.ib.fabric.Fabric` models the paper's
+8-port InfiniScale testbed; this subclass scales past one switch: hosts
+attach to *leaf* switches (``leaf_ports`` hosts each), and every leaf has
+one uplink to each of ``spines`` spine switches.
+
+Routing is the standard d-mod-k scheme: traffic within a leaf crosses only
+that leaf; cross-leaf traffic ascends on the uplink chosen by
+``dst_lid % spines`` (deterministic, so a flow stays ordered) and descends
+to the destination leaf.  All four traversed links (host-up, leaf-up,
+spine-down, host-down) carry FIFO busy-until contention; switch hops add
+pipeline latency.
+
+This keeps every transport/MPI layer byte-for-byte identical — only path
+latency and contention change — so flow-control experiments can be re-run
+on big simulated clusters unchanged (see
+``tests/test_fattree.py::test_dynamic_scheme_on_64_rank_fat_tree``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.ib.fabric import Fabric, FabricError
+from repro.ib.types import IBConfig
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+from repro.sim.units import transfer_ns
+
+
+class FatTreeFabric(Fabric):
+    """Hosts → leaf switches → spine switches, FIFO contention per link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: IBConfig,
+        tracer: Optional[Tracer] = None,
+        leaf_ports: int = 8,
+        spines: int = 2,
+    ):
+        super().__init__(sim, config, tracer)
+        if leaf_ports < 1 or spines < 1:
+            raise FabricError("fat tree needs >=1 leaf port and >=1 spine")
+        self.leaf_ports = leaf_ports
+        self.spines = spines
+        # busy-until per inter-switch unidirectional link
+        self._leaf_up: Dict[Tuple[int, int], int] = {}  # (leaf, spine)
+        self._leaf_down: Dict[Tuple[int, int], int] = {}  # (spine, leaf)
+        # observability
+        self.cross_leaf_msgs = 0
+
+    # ------------------------------------------------------------------
+    def leaf_of(self, lid: int) -> int:
+        return lid // self.leaf_ports
+
+    def _spine_for(self, dst_lid: int) -> int:
+        return dst_lid % self.spines  # d-mod-k: deterministic, in-order
+
+    # ------------------------------------------------------------------
+    def transmit(self, src_lid: int, dst_lid: int, payload_bytes: int, message: Any) -> int:
+        cfg = self.config
+        if dst_lid not in self._lids:
+            raise FabricError(f"no HCA at LID {dst_lid}")
+        now = self.sim.now
+        self.messages_sent += 1
+        self.payload_bytes += max(0, payload_bytes)
+
+        if src_lid == dst_lid:
+            ser = transfer_ns(cfg.wire_bytes(payload_bytes), cfg.pci_bytes_per_ns)
+            arrival = now + cfg.loopback_ns + ser
+            self.sim.schedule_at(arrival, self._lids[dst_lid]._deliver, message)
+            return arrival
+
+        wire = cfg.wire_bytes(payload_bytes)
+        self.wire_bytes += wire
+        ser = transfer_ns(wire, cfg.effective_bytes_per_ns())
+        src_leaf, dst_leaf = self.leaf_of(src_lid), self.leaf_of(dst_lid)
+
+        # host -> leaf
+        start = max(now, self._up_busy[src_lid])
+        self._up_busy[src_lid] = start + ser
+        head = start + cfg.link_prop_ns + cfg.switch_delay_ns
+
+        if src_leaf != dst_leaf:
+            self.cross_leaf_msgs += 1
+            spine = self._spine_for(dst_lid)
+            # leaf -> spine
+            up_key = (src_leaf, spine)
+            t = max(head, self._leaf_up.get(up_key, 0))
+            self._leaf_up[up_key] = t + ser
+            head = t + cfg.link_prop_ns + cfg.switch_delay_ns
+            # spine -> destination leaf
+            down_key = (spine, dst_leaf)
+            t = max(head, self._leaf_down.get(down_key, 0))
+            self._leaf_down[down_key] = t + ser
+            head = t + cfg.link_prop_ns + cfg.switch_delay_ns
+
+        # leaf -> host
+        start_down = max(head, self._down_busy[dst_lid])
+        self._down_busy[dst_lid] = start_down + ser
+        arrival = start_down + ser + cfg.link_prop_ns
+        self.sim.schedule_at(arrival, self._lids[dst_lid]._deliver, message)
+        self.tracer.record(now, "fabric.tx", src_lid, dst_lid, payload_bytes, arrival)
+        return arrival
+
+    # ------------------------------------------------------------------
+    def control_path_ns(self, src_lid: int, dst_lid: int) -> int:
+        cfg = self.config
+        if src_lid == dst_lid:
+            return cfg.loopback_ns
+        ser = transfer_ns(cfg.ack_bytes, cfg.link_rate.bytes_per_ns)
+        hops = 1 if self.leaf_of(src_lid) == self.leaf_of(dst_lid) else 3
+        return (hops + 1) * cfg.link_prop_ns + hops * cfg.switch_delay_ns + ser
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<FatTreeFabric lids={len(self._lids)} leaf_ports={self.leaf_ports} "
+            f"spines={self.spines}>"
+        )

@@ -1,0 +1,207 @@
+"""The Host Channel Adapter.
+
+Owns queue pairs, completion queues and the registration table for one
+node, and models the two serialised engines of an InfiniHost-class adapter:
+
+* the **send engine** drains send WQEs from ready QPs round-robin.  Each
+  WQE costs doorbell + WQE-fetch + DMA-startup time on the engine; the
+  payload's serialisation is then charged on the wire by the fabric
+  (cut-through — engine and wire overlap across messages);
+* the **receive engine** turns accepted inbound messages into completions
+  after per-WQE processing time (payload DMA overlaps with reception and is
+  already covered by the arrival time).
+
+The HCA is where channel semantics (SEND consumes a receive WQE, payload
+copied to the posted buffer) and memory semantics (RDMA bypasses the
+receive queue entirely) diverge — see ``QueuePair._receive`` for the
+protocol side.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.ib.cq import CompletionQueue
+from repro.ib.fabric import Fabric
+from repro.ib.mr import MemoryRegion, RegistrationTable
+from repro.ib.qp import QueuePair, _Message
+from repro.ib.types import IBConfig, Opcode, WCStatus
+from repro.ib.wr import WC, RecvWR
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+from repro.sim.units import transfer_ns
+
+
+class HCA:
+    """One adapter, attached to the fabric at ``lid``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        lid: int,
+        config: Optional[IBConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.lid = lid
+        self.config = config or fabric.config
+        self.tracer = tracer or fabric.tracer
+        self.mrs = RegistrationTable(lid)
+        self._qps: Dict[int, QueuePair] = {}
+        self._next_qpn = lid * 10_000 + 1
+        self._ready: Deque[QueuePair] = deque()
+        self._in_ready: set = set()
+        self._send_busy = 0
+        self._pump_ev = None
+        self._recv_busy = 0
+        fabric.attach(lid, self)
+
+    # ------------------------------------------------------------------
+    # resource creation (verbs)
+    # ------------------------------------------------------------------
+    def create_cq(self, name: str = "") -> CompletionQueue:
+        return CompletionQueue(
+            self.sim, depth=self.config.cq_depth, name=name or f"cq@{self.lid}"
+        )
+
+    def create_qp(
+        self,
+        send_cq: CompletionQueue,
+        recv_cq: Optional[CompletionQueue] = None,
+    ) -> QueuePair:
+        qpn = self._next_qpn
+        self._next_qpn += 1
+        qp = QueuePair(
+            self,
+            qpn,
+            send_cq,
+            recv_cq or send_cq,
+            sq_depth=self.config.sq_depth,
+            rq_depth=self.config.rq_depth,
+        )
+        self._qps[qpn] = qp
+        return qp
+
+    def qp(self, qpn: int) -> QueuePair:
+        return self._qps[qpn]
+
+    def reg_mr(self, length: int) -> MemoryRegion:
+        """Register ``length`` bytes.  The *caller* must burn
+        ``config.registration_ns(length)`` of CPU time — the MPI layer's
+        pin-down path does."""
+        return self.mrs.register(length)
+
+    def dereg_mr(self, mr: MemoryRegion) -> None:
+        self.mrs.deregister(mr)
+
+    # ------------------------------------------------------------------
+    # send engine
+    # ------------------------------------------------------------------
+    def _kick(self, qp: QueuePair) -> None:
+        """A QP may have become injectable; enqueue it and poke the engine."""
+        if qp.qp_num not in self._in_ready and qp._next_injectable() is not None:
+            self._ready.append(qp)
+            self._in_ready.add(qp.qp_num)
+        self._schedule_pump()
+
+    def _schedule_pump(self) -> None:
+        if self._pump_ev is not None or not self._ready:
+            return
+        at = max(self.sim.now, self._send_busy)
+        self._pump_ev = self.sim.schedule_at(at, self._pump)
+
+    def _pump(self) -> None:
+        self._pump_ev = None
+        now = self.sim.now
+        if self._send_busy > now:
+            self._schedule_pump()
+            return
+        # Round-robin: find the first currently-eligible ready QP.
+        for _ in range(len(self._ready)):
+            qp = self._ready.popleft()
+            self._in_ready.discard(qp.qp_num)
+            wr = qp._take_injectable()
+            if wr is None:
+                continue  # re-kicked when it becomes eligible again
+            if qp._next_injectable() is not None:
+                self._ready.append(qp)
+                self._in_ready.add(qp.qp_num)
+            cost = self.config.hca_send_wqe_ns + self.config.dma_startup_ns
+            self._send_busy = now + cost
+            self.sim.schedule(cost, self._inject, qp, wr)
+            self._schedule_pump()
+            return
+
+    def _inject(self, qp: QueuePair, wr) -> None:
+        msg = qp._make_message(wr)
+        self.fabric.transmit(self.lid, qp.remote_lid, wr.length, msg)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def _deliver(self, msg: _Message) -> None:
+        """Last byte arrived on the wire.  The packet sits in the adapter's
+        input buffering until the receive engine services it — crucially,
+        the receive-WQE lookup (and hence any RNR NAK decision) happens at
+        *engine service time*, not wire-arrival time, so line-rate bursts
+        released by head-of-line blocking do not spuriously NAK as long as
+        software keeps re-posting at the engine's pace."""
+        start = max(self.sim.now, self._recv_busy)
+        if msg.opcode is Opcode.RDMA_WRITE or msg.is_read_response:
+            cost = self.config.hca_rdma_rx_ns  # no WQE consume, no CQE
+        else:
+            cost = self.config.hca_recv_wqe_ns
+        done = start + cost
+        self._recv_busy = done
+        self.sim.schedule_at(done, self._rx_process, msg)
+
+    def _rx_process(self, msg: _Message) -> None:
+        qp = self._qps.get(msg.dst_qpn)
+        if qp is None:
+            return  # packet to a destroyed QP: silently dropped
+        qp._receive(msg)
+
+    def _complete_recv(self, qp: QueuePair, msg: _Message, rwr: RecvWR) -> None:
+        """SEND accepted: engine time is already paid, complete now."""
+        qp.messages_delivered += 1
+        qp.recv_cq.push(
+            WC(
+                wr_id=rwr.wr_id,
+                status=WCStatus.SUCCESS,
+                opcode=Opcode.SEND,
+                byte_len=msg.length,
+                data=msg.payload,
+                qp_num=qp.qp_num,
+                peer=msg.src_lid,
+                is_recv=True,
+            )
+        )
+        qp._ack(msg)
+
+    def _respond_read(self, qp: QueuePair, msg: _Message, mr) -> None:
+        """Stream RDMA-read data back to the requester."""
+        response = _Message.__new__(_Message)
+        response.src_lid = self.lid
+        response.src_qpn = qp.qp_num
+        response.dst_lid = msg.src_lid
+        response.dst_qpn = msg.src_qpn
+        response.opcode = Opcode.RDMA_READ
+        response.msn = -1
+        response.length = msg.length
+        response.payload = mr.load(msg.remote_addr)
+        response.remote_addr = 0
+        response.rkey = 0
+        response.is_read_response = True
+        response.read_wr_msn = msg.msn
+        start = max(self.sim.now, self._send_busy)
+        cost = self.config.hca_send_wqe_ns + self.config.dma_startup_ns
+        self._send_busy = start + cost
+        self.sim.schedule_at(
+            start + cost, self.fabric.transmit, self.lid, msg.src_lid, msg.length, response
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<HCA lid={self.lid} qps={len(self._qps)}>"

@@ -1,0 +1,460 @@
+"""Reliable Connection queue pairs.
+
+This module is the transport heart of the substrate.  Each QP implements
+both halves of the IBA RC protocol at message granularity:
+
+**Requester** — WQEs posted to the send queue are injected in order by the
+HCA send engine, up to a pipelining window.  Each message carries a message
+sequence number (MSN).  A send completes (CQE) when its acknowledgement
+returns.  If the responder had no receive WQE, the requester receives an
+RNR NAK, freezes the QP for the configured RNR timer, then *replays* every
+unacknowledged message from the NAK point — exactly the
+timeout-and-retransmit behaviour the paper's hardware-based flow control
+scheme leans on.
+
+**Responder** — accepts only the expected MSN (late/duplicate packets from
+a replay era are dropped), consumes a receive WQE per SEND, never consumes
+one for RDMA, and acknowledges with a piggybacked advertisement of its
+remaining receive-WQE count (the IBA end-to-end flow-control credit field).
+
+The requester uses the advertised credits to gate SEND injection: with zero
+known credits it keeps at most one probe message outstanding rather than
+blasting the full window into a NAK storm.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Optional
+
+from repro.ib.mr import RemoteAccessError
+from repro.ib.types import INFINITE_RETRY, Opcode, QPState, WCStatus
+from repro.ib.wr import WC, RecvWR, SendWR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ib.cq import CompletionQueue
+    from repro.ib.hca import HCA
+
+
+class QPError(RuntimeError):
+    pass
+
+
+class _Message:
+    """What actually crosses the fabric (one per MPI-level message)."""
+
+    __slots__ = (
+        "src_lid",
+        "src_qpn",
+        "dst_lid",
+        "dst_qpn",
+        "opcode",
+        "msn",
+        "length",
+        "payload",
+        "remote_addr",
+        "rkey",
+        "is_read_response",
+        "read_wr_msn",
+    )
+
+    def __init__(self, qp: "QueuePair", wr: SendWR):
+        self.src_lid = qp.hca.lid
+        self.src_qpn = qp.qp_num
+        self.dst_lid = qp.remote_lid
+        self.dst_qpn = qp.remote_qpn
+        self.opcode = wr.opcode
+        self.msn = wr.msn
+        self.length = wr.length
+        self.payload = wr.payload
+        self.remote_addr = wr.remote_addr
+        self.rkey = wr.rkey
+        self.is_read_response = False
+        self.read_wr_msn = -1
+
+
+class QueuePair:
+    """One end of a reliable connection.
+
+    Created via :meth:`repro.ib.hca.HCA.create_qp`; wire up with
+    :meth:`connect` before posting.
+    """
+
+    def __init__(
+        self,
+        hca: "HCA",
+        qp_num: int,
+        send_cq: "CompletionQueue",
+        recv_cq: "CompletionQueue",
+        sq_depth: int,
+        rq_depth: int,
+    ):
+        self.hca = hca
+        self.qp_num = qp_num
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.sq_depth = sq_depth
+        self.rq_depth = rq_depth
+        self.state = QPState.RESET
+        self.remote_lid = -1
+        self.remote_qpn = -1
+
+        # --- requester state ---
+        self._sq: Deque[SendWR] = deque()  # waiting to inject (incl. replays)
+        self._inflight: Dict[int, SendWR] = {}  # msn -> WR, awaiting ACK
+        self._next_msn = 0
+        self._rnr_waiting = False
+        self._rnr_timer_ev = None
+        self._credit_est: Optional[int] = None  # None = unknown/unlimited
+        self._credit_est_msn = -1  # freshness of the estimate
+        self._sends_inflight = 0
+
+        # --- responder state ---
+        self._rq: Deque[RecvWR] = deque()
+        self._expected_msn = 0
+        self._advertised_zero = False  # last ack advertised 0 credits
+
+        # --- observability ---
+        self.rnr_naks_received = 0
+        self.rnr_naks_sent = 0
+        self.retransmissions = 0
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def connect(self, remote_lid: int, remote_qpn: int) -> None:
+        if self.state is not QPState.RESET:
+            raise QPError(f"QP {self.qp_num}: connect() in state {self.state}")
+        self.remote_lid = remote_lid
+        self.remote_qpn = remote_qpn
+        self.state = QPState.READY
+
+    def set_initial_credit_estimate(self, credits: Optional[int]) -> None:
+        """Seed the requester's view of remote receive WQEs (the consumer
+        knows how many buffers it pre-posted on the other side)."""
+        self._credit_est = credits
+
+    def _peer(self) -> "QueuePair":
+        return self.hca.fabric.hca_at(self.remote_lid).qp(self.remote_qpn)
+
+    # ------------------------------------------------------------------
+    # verbs: posting
+    # ------------------------------------------------------------------
+    def post_send(self, wr: SendWR) -> None:
+        if self.state is not QPState.READY:
+            raise QPError(f"QP {self.qp_num}: post_send in state {self.state}")
+        if len(self._sq) + len(self._inflight) >= self.sq_depth:
+            raise QPError(f"QP {self.qp_num}: send queue overflow (depth {self.sq_depth})")
+        self._sq.append(wr)
+        self.hca._kick(self)
+
+    def post_recv(self, wr: RecvWR) -> None:
+        if self.state is QPState.ERROR:
+            raise QPError(f"QP {self.qp_num}: post_recv in ERROR state")
+        if len(self._rq) >= self.rq_depth:
+            raise QPError(f"QP {self.qp_num}: receive queue overflow")
+        self._rq.append(wr)
+        if (
+            self.hca.config.e2e_credit_updates
+            and self._advertised_zero
+            and self.state is QPState.READY
+        ):
+            # Unsolicited credit-update ACK (optional hardware feature; off
+            # by default to match the paper's InfiniHost behaviour).
+            self._advertised_zero = False
+            self.hca.fabric.send_control(
+                self.hca.lid,
+                self.remote_lid,
+                self._peer()._on_credit_update,
+                len(self._rq),
+            )
+
+    @property
+    def posted_recvs(self) -> int:
+        return len(self._rq)
+
+    @property
+    def outstanding_sends(self) -> int:
+        return len(self._sq) + len(self._inflight)
+
+    # ------------------------------------------------------------------
+    # requester: injection (driven by the HCA send engine)
+    # ------------------------------------------------------------------
+    def _next_injectable(self) -> Optional[SendWR]:
+        """Return the WR the HCA engine may inject now, or None.
+
+        Honours: QP state, RNR freeze, the pipelining window and the
+        end-to-end credit gate for SEND opcodes.
+        """
+        if self.state is not QPState.READY or self._rnr_waiting or not self._sq:
+            return None
+        if len(self._inflight) >= self.hca.config.max_inflight_msgs:
+            return None
+        wr = self._sq[0]
+        if wr.opcode is Opcode.SEND and self._credit_est is not None:
+            if self._credit_est <= 0 and self._sends_inflight >= 1:
+                return None  # one probe at a time when starved
+        return wr
+
+    def _take_injectable(self) -> Optional[SendWR]:
+        wr = self._next_injectable()
+        if wr is None:
+            return None
+        self._sq.popleft()
+        if wr.msn < 0:
+            wr.msn = self._next_msn
+            self._next_msn += 1
+        else:
+            self.retransmissions += 1
+            self.hca.tracer.count("ib.retransmission", (self.hca.lid, self.remote_lid))
+        self._inflight[wr.msn] = wr
+        if wr.opcode is Opcode.SEND:
+            self._sends_inflight += 1
+            if self._credit_est is not None:
+                self._credit_est -= 1
+        return wr
+
+    def _make_message(self, wr: SendWR) -> _Message:
+        self.messages_sent += 1
+        return _Message(self, wr)
+
+    # ------------------------------------------------------------------
+    # requester: acknowledgement handling
+    # ------------------------------------------------------------------
+    def _on_ack(self, msn: int, advertised: int) -> None:
+        wr = self._inflight.pop(msn, None)
+        if wr is None:
+            return  # duplicate / stale ACK from a replay era
+        if wr.opcode is Opcode.SEND:
+            self._sends_inflight -= 1
+        if msn > self._credit_est_msn:
+            self._credit_est_msn = msn
+            if self._credit_est is not None:
+                # The gate is opt-in (hardware-based flow control sets an
+                # initial estimate); credits advertised net of our own
+                # still-inflight sends.
+                self._credit_est = advertised - self._sends_inflight
+        wr.rnr_tries = 0  # type: ignore[attr-defined]
+        if wr.signaled and wr.opcode is not Opcode.RDMA_READ:
+            self.send_cq.push(
+                WC(
+                    wr_id=wr.wr_id,
+                    status=WCStatus.SUCCESS,
+                    opcode=wr.opcode,
+                    byte_len=wr.length,
+                    qp_num=self.qp_num,
+                    peer=self.remote_lid,
+                )
+            )
+        self.hca._kick(self)
+
+    def _on_credit_update(self, advertised: int) -> None:
+        if self._credit_est is not None:
+            self._credit_est = advertised - self._sends_inflight
+            self.hca._kick(self)
+
+    def _on_rnr_nak(self, msn: int) -> None:
+        if msn not in self._inflight or self._rnr_waiting:
+            return  # duplicate NAK for a message already being replayed
+        self.rnr_naks_received += 1
+        self.hca.tracer.count("ib.rnr_nak", (self.hca.lid, self.remote_lid))
+        if self._credit_est is not None:
+            self._credit_est = 0
+            self._credit_est_msn = max(self._credit_est_msn, msn - 1)
+
+        wr = self._inflight[msn]
+        tries = getattr(wr, "rnr_tries", 0) + 1
+        wr.rnr_tries = tries  # type: ignore[attr-defined]
+        cfg = self.hca.config
+        if cfg.rnr_retry_count != INFINITE_RETRY and tries > cfg.rnr_retry_count:
+            del self._inflight[msn]
+            if wr.opcode is Opcode.SEND:
+                self._sends_inflight -= 1
+            self._fatal(wr, WCStatus.RNR_RETRY_EXCEEDED)
+            return
+
+        self._rnr_waiting = True
+        self._rnr_timer_ev = self.hca.sim.schedule(cfg.rnr_timer_ns, self._rnr_expire, msn)
+
+    def _rnr_expire(self, nak_msn: int) -> None:
+        self._rnr_waiting = False
+        self._rnr_timer_ev = None
+        # Replay every unacked message from the NAK point, in MSN order.
+        replay = sorted(
+            (m for m in self._inflight if m >= nak_msn), reverse=True
+        )
+        for msn in replay:
+            wr = self._inflight.pop(msn)
+            if wr.opcode is Opcode.SEND:
+                self._sends_inflight -= 1
+                if self._credit_est is not None:
+                    self._credit_est += 1
+            self._sq.appendleft(wr)
+        # Allow one probe even with zero estimated credits (handled by the
+        # injection gate).
+        self.hca._kick(self)
+
+    def _on_read_response(self, msg: _Message) -> None:
+        wr = self._inflight.pop(msg.read_wr_msn, None)
+        if wr is None:
+            return
+        if wr.signaled:
+            self.send_cq.push(
+                WC(
+                    wr_id=wr.wr_id,
+                    status=WCStatus.SUCCESS,
+                    opcode=Opcode.RDMA_READ,
+                    byte_len=msg.length,
+                    data=msg.payload,
+                    qp_num=self.qp_num,
+                    peer=self.remote_lid,
+                )
+            )
+        self.hca._kick(self)
+
+    def _on_remote_error(self, msn: int, status: WCStatus) -> None:
+        wr = self._inflight.pop(msn, None)
+        if wr is None:
+            return
+        self._fatal(wr, status)
+
+    def _fatal(self, wr: SendWR, status: WCStatus) -> None:
+        """Complete ``wr`` with an error and flush the QP."""
+        self.state = QPState.ERROR
+        if self._rnr_timer_ev is not None:
+            self._rnr_timer_ev.cancel()
+            self._rnr_timer_ev = None
+        self.send_cq.push(
+            WC(
+                wr_id=wr.wr_id,
+                status=status,
+                opcode=wr.opcode,
+                qp_num=self.qp_num,
+                peer=self.remote_lid,
+            )
+        )
+        for pending in list(self._inflight.values()) + list(self._sq):
+            self.send_cq.push(
+                WC(
+                    wr_id=pending.wr_id,
+                    status=WCStatus.WR_FLUSH_ERROR,
+                    opcode=pending.opcode,
+                    qp_num=self.qp_num,
+                    peer=self.remote_lid,
+                )
+            )
+        self._inflight.clear()
+        self._sq.clear()
+        for rwr in self._rq:
+            self.recv_cq.push(
+                WC(
+                    wr_id=rwr.wr_id,
+                    status=WCStatus.WR_FLUSH_ERROR,
+                    opcode=Opcode.SEND,
+                    qp_num=self.qp_num,
+                    peer=self.remote_lid,
+                    is_recv=True,
+                )
+            )
+        self._rq.clear()
+
+    # ------------------------------------------------------------------
+    # responder: inbound message handling (called by the HCA)
+    # ------------------------------------------------------------------
+    def _receive(self, msg: _Message) -> None:
+        if self.state is not QPState.READY:
+            return  # drops on dead QPs
+        if msg.is_read_response:
+            self._on_read_response(msg)
+            return
+        if msg.msn != self._expected_msn:
+            # Stale duplicate from a replay era (msn < expected) or an
+            # out-of-order packet after a NAK (msn > expected): discard.
+            return
+
+        if msg.opcode is Opcode.SEND:
+            if not self._rq:
+                self.rnr_naks_sent += 1
+                self.hca.tracer.count("ib.rnr_nak_sent", (self.hca.lid, msg.src_lid))
+                self._advertised_zero = True
+                self.hca.fabric.send_control(
+                    self.hca.lid, msg.src_lid, self._peer()._on_rnr_nak, msg.msn
+                )
+                return
+            rwr = self._rq[0]
+            if msg.length > rwr.capacity:
+                self._rq.popleft()
+                self._expected_msn += 1
+                self.recv_cq.push(
+                    WC(
+                        wr_id=rwr.wr_id,
+                        status=WCStatus.LOCAL_LENGTH_ERROR,
+                        opcode=Opcode.SEND,
+                        byte_len=msg.length,
+                        qp_num=self.qp_num,
+                        peer=msg.src_lid,
+                        is_recv=True,
+                    )
+                )
+                self.state = QPState.ERROR
+                self.hca.fabric.send_control(
+                    self.hca.lid,
+                    msg.src_lid,
+                    self._peer()._on_remote_error,
+                    msg.msn,
+                    WCStatus.REMOTE_ACCESS_ERROR,
+                )
+                return
+            self._rq.popleft()
+            self._expected_msn += 1
+            self.hca._complete_recv(self, msg, rwr)
+        elif msg.opcode is Opcode.RDMA_WRITE:
+            try:
+                mr = self.hca.mrs.check_remote(msg.rkey, msg.remote_addr, msg.length)
+            except RemoteAccessError:
+                self._expected_msn += 1
+                self.hca.fabric.send_control(
+                    self.hca.lid,
+                    msg.src_lid,
+                    self._peer()._on_remote_error,
+                    msg.msn,
+                    WCStatus.REMOTE_ACCESS_ERROR,
+                )
+                return
+            mr.store(msg.remote_addr, msg.payload)
+            self._expected_msn += 1
+            self.messages_delivered += 1
+            self._ack(msg)
+        elif msg.opcode is Opcode.RDMA_READ:
+            try:
+                mr = self.hca.mrs.check_remote(msg.rkey, msg.remote_addr, msg.length)
+            except RemoteAccessError:
+                self._expected_msn += 1
+                self.hca.fabric.send_control(
+                    self.hca.lid,
+                    msg.src_lid,
+                    self._peer()._on_remote_error,
+                    msg.msn,
+                    WCStatus.REMOTE_ACCESS_ERROR,
+                )
+                return
+            self._expected_msn += 1
+            self.hca._respond_read(self, msg, mr)
+        else:  # pragma: no cover - exhaustive enum
+            raise QPError(f"unknown opcode {msg.opcode}")
+
+    def _ack(self, msg: _Message) -> None:
+        advertised = len(self._rq)
+        self._advertised_zero = advertised == 0
+        self.hca.fabric.send_control(
+            self.hca.lid, msg.src_lid, self._peer()._on_ack, msg.msn, advertised
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<QP {self.qp_num}@{self.hca.lid}->{self.remote_qpn}@{self.remote_lid} "
+            f"{self.state.value} sq={len(self._sq)} inflight={len(self._inflight)} "
+            f"rq={len(self._rq)}>"
+        )

@@ -1,0 +1,110 @@
+"""Work requests and work completions (the descriptor types of the verbs
+interface).
+
+A :class:`SendWR` describes an outbound operation (channel-semantics SEND or
+memory-semantics RDMA write/read); a :class:`RecvWR` describes where an
+inbound SEND's payload may land.  Completions are reported as :class:`WC`
+entries on a completion queue.  ``context`` fields are opaque to the IB
+layer — the MPI implementation stores its protocol headers there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.ib.types import Opcode, WCStatus
+
+
+@dataclass
+class SendWR:
+    """An outbound work request.
+
+    Parameters
+    ----------
+    wr_id:
+        Caller cookie returned in the matching completion.
+    opcode:
+        SEND consumes a remote receive WQE; RDMA_WRITE/RDMA_READ do not.
+    length:
+        Payload bytes.
+    payload:
+        Opaque data object delivered to the remote side (SEND) or written
+        into the remote MR (RDMA_WRITE).
+    remote_addr, rkey:
+        Target region for RDMA operations (must be within a registered MR
+        at the responder or the op completes with REMOTE_ACCESS_ERROR).
+    signaled:
+        When False, no completion entry is generated on success (errors
+        always complete).  MPI uses unsignalled sends for some control
+        traffic to cut CQ pressure.
+    """
+
+    wr_id: Any
+    opcode: Opcode
+    length: int
+    payload: Any = None
+    remote_addr: int = 0
+    rkey: int = 0
+    signaled: bool = True
+
+    # transport bookkeeping (assigned by the QP; not caller-visible)
+    msn: int = field(default=-1, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(f"negative WR length {self.length}")
+        if self.opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_READ) and self.rkey == 0:
+            raise ValueError(f"{self.opcode.value} requires an rkey")
+
+
+@dataclass
+class RecvWR:
+    """An inbound buffer descriptor.
+
+    ``capacity`` bounds the SEND payload that may land here; an overlong
+    message completes with LOCAL_LENGTH_ERROR at the receiver (and the
+    sender sees a remote error), mirroring IBA semantics.
+    """
+
+    wr_id: Any
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"negative recv capacity {self.capacity}")
+
+
+@dataclass
+class WC:
+    """A work completion.
+
+    Attributes
+    ----------
+    wr_id:
+        Cookie of the completed work request.
+    opcode:
+        For receive completions this is the opcode of the *remote* op
+        (always SEND here, since RDMA bypasses receive WQEs).
+    byte_len:
+        Payload bytes transferred.
+    data:
+        For receive completions, the delivered payload object.
+    qp_num / peer:
+        Identify the connection the completion belongs to.
+    is_recv:
+        Distinguishes receive-side completions from send-side ones.
+    """
+
+    wr_id: Any
+    status: WCStatus
+    opcode: Opcode
+    byte_len: int = 0
+    data: Any = None
+    qp_num: int = -1
+    peer: int = -1
+    is_recv: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WCStatus.SUCCESS

@@ -1,0 +1,140 @@
+"""Per-peer connection state.
+
+One :class:`Connection` exists for every ordered pair of ranks (the paper's
+MPI sets up a Reliable Connection between every two processes during
+``MPI_Init``).  It owns the QP and both halves of the flow-control state:
+
+**sender half** — ``credits`` (how many more unexpected messages this rank
+may push to the peer), the FIFO ``backlog`` of sends that found no credit,
+and the rendezvous-fallback latch;
+
+**receiver half** — ``prepost_target`` (how many vbufs this rank keeps
+posted for the peer; *the* scalability quantity the paper studies),
+``recv_posted``, and ``pending_credit_return`` (credits accumulated for the
+peer, shipped by piggyback or explicit credit message).
+
+The flow-control schemes in :mod:`repro.core` manipulate exactly these
+fields; the endpoint and progress engine are scheme-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from repro.ib.qp import QueuePair
+from repro.mpi.protocol import Header
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.endpoint import Endpoint
+
+
+@dataclass
+class PendingSend:
+    """A backlogged send operation (paper §4.2: the backlog queue)."""
+
+    header: Header
+    request: Any = None  # Request for eager; RndvSendOp for RTS
+    enqueue_ns: int = 0
+
+
+@dataclass
+class ConnStats:
+    """Per-connection observability, aggregated into the paper's tables."""
+
+    msgs_sent: int = 0  # every MPI-level message incl. control
+    data_msgs_sent: int = 0  # eager payloads + rendezvous transfers
+    ecm_sent: int = 0  # explicit credit messages (Table 1)
+    backlogged: int = 0  # sends that went through the backlog
+    rndv_fallbacks: int = 0  # small sends converted to rendezvous
+    max_prepost: int = 0  # high-water prepost_target (Table 2)
+    credit_stalled_ns: int = 0  # cumulative head-of-backlog wait
+    piggybacked_credits: int = 0
+    ecm_credits: int = 0
+
+
+class Connection:
+    """State for one directed rank→rank link (shared by both directions:
+    each rank owns its endpoint's Connection object to the peer)."""
+
+    def __init__(self, endpoint: "Endpoint", peer: int, qp: QueuePair):
+        self.endpoint = endpoint
+        self.peer = peer
+        self.qp = qp
+
+        # --- sender half ---
+        self.credits = 0
+        self.backlog: Deque[PendingSend] = deque()
+        self.fallback_inflight = 0  # outstanding optimistic handshakes
+        self.seq_out = 0
+
+        # --- receiver half ---
+        self.prepost_target = 0
+        self.headroom = 0  # extra non-credited buffers (set by the scheme)
+
+        # --- RDMA eager channel (None unless MPIConfig.use_rdma_channel) ---
+        self.rdma_eager = False
+        self.tx_ring_addr = 0  # peer ring coordinates (sender half)
+        self.tx_ring_rkey = 0
+        self.tx_ring_slots = 0
+        self.tx_ring_next = 0
+        self.rx_channel = None  # RDMAChannel (receiver half)
+        self.recv_posted = 0
+        self.pending_credit_return = 0
+        self.seq_in_expected = 0
+
+        self.stats = ConnStats()
+
+    # ------------------------------------------------------------------
+    # sender-half helpers
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        s = self.seq_out
+        self.seq_out += 1
+        return s
+
+    def take_piggyback_credits(self) -> int:
+        """All pending return-credits ride the next outgoing message."""
+        c = self.pending_credit_return
+        self.pending_credit_return = 0
+        return c
+
+    # ------------------------------------------------------------------
+    # receiver-half helpers
+    # ------------------------------------------------------------------
+    def set_prepost_target(self, n: int) -> None:
+        self.prepost_target = n
+        if n > self.stats.max_prepost:
+            self.stats.max_prepost = n
+
+    def refill_recv_buffers(self) -> int:
+        """Post receive vbufs up to the budget; returns how many were
+        posted (the endpoint charges the CPU cost).
+
+        In RDMA-channel mode the "buffers" governed by credits are ring
+        slots, not WQEs; the posted WQEs only serve optimistic control
+        traffic and stay at a small fixed budget.
+        """
+        if self.rdma_eager:
+            budget = self.endpoint.config.rdma_control_bufs
+        else:
+            budget = self.prepost_target + self.headroom
+        posted = 0
+        while self.recv_posted < budget:
+            self.endpoint._post_recv_vbuf(self)
+            posted += 1
+        return posted
+
+    def next_ring_addr(self) -> int:
+        """Sender half: the next slot address in the peer's current ring."""
+        addr = self.tx_ring_addr + self.tx_ring_next * self.endpoint.config.vbuf_bytes
+        self.tx_ring_next = (self.tx_ring_next + 1) % max(1, self.tx_ring_slots)
+        return addr
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Conn {self.endpoint.rank}->{self.peer} credits={self.credits} "
+            f"backlog={len(self.backlog)} prepost={self.prepost_target} "
+            f"pending_ret={self.pending_credit_return}>"
+        )

@@ -1,0 +1,18 @@
+"""MPI-style constants."""
+
+from __future__ import annotations
+
+#: Wildcard source for receives.
+ANY_SOURCE = -1
+
+#: Wildcard tag for receives.
+ANY_TAG = -1
+
+#: Upper bound for user tags; collectives use the space above it.
+TAG_UB = 1 << 20
+
+#: Context id of the world communicator.
+WORLD_CONTEXT = 0
+
+#: Internal tag base for collective operations (outside the user range).
+COLL_TAG_BASE = TAG_UB + 1

@@ -1,0 +1,132 @@
+"""MPI derived datatypes: size/extent accounting for typed messages.
+
+The simulator moves opaque payloads, so datatypes matter for the thing
+they cost on a real wire: the *byte count* and (for non-contiguous types)
+the *pack/unpack copies*.  A :class:`Datatype` computes both; the endpoint
+helpers :func:`typed_size` and :func:`pack_cost_ns` let workloads express
+"send 1000 elements of this vector type" and get a faithful wire size and
+the extra memcpy a non-contiguous layout costs on each side.
+
+Supported constructors mirror the MPI basics: predefined scalars,
+``contiguous``, ``vector`` (strided blocks) and ``indexed`` (explicit
+block displacements) — enough for the halo/face layouts the NAS codes use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+class DatatypeError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI datatype's layout summary.
+
+    Attributes
+    ----------
+    size:
+        Bytes of actual data per element (what travels on the wire).
+    extent:
+        Memory span per element including holes (what strides in memory).
+    contiguous:
+        True when size == extent and there are no internal holes — such
+        types transfer without a pack/unpack copy.
+    name:
+        For diagnostics.
+    """
+
+    size: int
+    extent: int
+    contiguous: bool
+    name: str = "type"
+
+    def __post_init__(self):
+        if self.size < 0 or self.extent < self.size:
+            raise DatatypeError(
+                f"{self.name}: invalid size={self.size} extent={self.extent}"
+            )
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def contiguous_of(count: int, base: "Datatype", name: str = "") -> "Datatype":
+        """MPI_Type_contiguous."""
+        if count < 0:
+            raise DatatypeError("negative count")
+        return Datatype(
+            size=count * base.size,
+            extent=count * base.extent,
+            contiguous=base.contiguous,
+            name=name or f"contig({count},{base.name})",
+        )
+
+    @staticmethod
+    def vector_of(
+        count: int, blocklength: int, stride: int, base: "Datatype", name: str = ""
+    ) -> "Datatype":
+        """MPI_Type_vector: ``count`` blocks of ``blocklength`` elements,
+        block starts ``stride`` elements apart."""
+        if count < 0 or blocklength < 0:
+            raise DatatypeError("negative count/blocklength")
+        if count > 0 and abs(stride) < blocklength and count > 1:
+            raise DatatypeError("overlapping vector blocks")
+        size = count * blocklength * base.size
+        if count == 0:
+            extent = 0
+        else:
+            extent = ((count - 1) * abs(stride) + blocklength) * base.extent
+        contiguous = base.contiguous and (count <= 1 or stride == blocklength)
+        return Datatype(size, extent, contiguous,
+                        name or f"vector({count},{blocklength},{stride})")
+
+    @staticmethod
+    def indexed_of(
+        blocks: Sequence[Tuple[int, int]], base: "Datatype", name: str = ""
+    ) -> "Datatype":
+        """MPI_Type_indexed: (blocklength, displacement) pairs, in base
+        elements."""
+        if not blocks:
+            return Datatype(0, 0, True, name or "indexed(empty)")
+        size = sum(bl for bl, _ in blocks) * base.size
+        spans: List[Tuple[int, int]] = sorted(
+            (disp, disp + bl) for bl, disp in blocks
+        )
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            if s2 < e1:
+                raise DatatypeError("overlapping indexed blocks")
+        extent = (spans[-1][1] - min(s for s, _ in spans)) * base.extent
+        contiguous = (
+            base.contiguous
+            and all(e == s2 for (_, e), (s2, _) in zip(spans, spans[1:]))
+        )
+        return Datatype(size, extent, contiguous, name or f"indexed({len(blocks)})")
+
+
+# -- predefined scalars --------------------------------------------------
+BYTE = Datatype(1, 1, True, "MPI_BYTE")
+CHAR = Datatype(1, 1, True, "MPI_CHAR")
+INT = Datatype(4, 4, True, "MPI_INT")
+FLOAT = Datatype(4, 4, True, "MPI_FLOAT")
+DOUBLE = Datatype(8, 8, True, "MPI_DOUBLE")
+COMPLEX16 = Datatype(16, 16, True, "MPI_DOUBLE_COMPLEX")
+
+
+def typed_size(count: int, datatype: Datatype) -> int:
+    """Wire bytes for ``count`` elements of ``datatype``."""
+    if count < 0:
+        raise DatatypeError("negative count")
+    return count * datatype.size
+
+
+def pack_cost_ns(count: int, datatype: Datatype, memcpy_bytes_per_ns: float) -> int:
+    """Extra CPU cost of packing ``count`` elements before transfer (zero
+    for contiguous layouts; one gather memcpy otherwise)."""
+    if datatype.contiguous:
+        return 0
+    nbytes = typed_size(count, datatype)
+    if nbytes <= 0:
+        return 0
+    return max(1, int(round(nbytes / memcpy_bytes_per_ns)))

@@ -1,0 +1,982 @@
+"""The MPI endpoint: one per rank, the ADI2-style device of this MPI.
+
+An :class:`Endpoint` owns the rank's verbs resources (one CQ for every
+connection, exactly like the paper's design), the pre-pinned vbuf pool, the
+matching engine, the pin-down cache, the rendezvous bookkeeping and — via
+:class:`~repro.mpi.connection.Connection` — all flow-control state.
+
+All public operations are *generators* driven by the simulation kernel;
+application programs call them with ``yield from``::
+
+    def program(mpi):
+        req = yield from mpi.irecv(source=1, capacity=1 << 20)
+        yield from mpi.send(1, size=4)
+        status = yield from mpi.wait(req)
+
+Progress happens only inside MPI calls (the paper's user-level schemes
+explicitly depend on this; the hardware scheme's "application bypass"
+advantage shows up as the HCA needing no software help to *deliver*, though
+buffer re-posting is always software).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, List, Optional, Set
+
+from repro.core.base import FlowControlScheme
+from repro.ib.hca import HCA
+from repro.ib.types import Opcode
+from repro.ib.wr import RecvWR, SendWR, WC
+from repro.mpi.buffer_pool import SendBufferPool
+from repro.mpi.config import MPIConfig
+from repro.mpi.connection import Connection, PendingSend
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, WORLD_CONTEXT
+from repro.mpi.matching import MatchingEngine, PostedRecv
+from repro.mpi.pindown_cache import PinDownCache
+from repro.mpi.protocol import Header, MsgKind
+from repro.mpi.rendezvous import BounceRegion, RndvRecvOp, RndvSendOp, next_op_id
+from repro.mpi.request import Request, Status
+from repro.sim import Simulator, Timeout
+from repro.sim.trace import Tracer
+
+
+class MPIError(RuntimeError):
+    pass
+
+
+class TruncationError(MPIError):
+    """A message arrived larger than the posted receive buffer."""
+
+
+#: vbufs held back for control traffic (CTS/FIN/ECM) so progress-side
+#: emissions can never block on the pool (which would deadlock progress).
+CONTROL_RESERVE = 32
+
+
+class Endpoint:
+    """One MPI process endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hca: HCA,
+        rank: int,
+        world_size: int,
+        config: MPIConfig,
+        scheme: FlowControlScheme,
+        requested_prepost: int,
+        tracer: Optional[Tracer] = None,
+        connector: Optional[Callable] = None,
+    ):
+        if requested_prepost < 1:
+            raise MPIError("requested_prepost must be >= 1")
+        self.sim = sim
+        self.hca = hca
+        self.rank = rank
+        self.world_size = world_size
+        self.config = config
+        self.scheme = scheme
+        self.requested_prepost = requested_prepost
+        self.tracer = tracer or Tracer(enabled=False)
+
+        self.cq = hca.create_cq(f"mpi.cq.{rank}")
+        self.pool = SendBufferPool(sim, config.send_pool_buffers, config.vbuf_bytes)
+        self.matching = MatchingEngine()
+        self.pindown = PinDownCache(hca)
+        bounce_mr = hca.reg_mr(config.vbuf_bytes * 64)
+        self.bounce = BounceRegion(bounce_mr, config.vbuf_bytes, 64)
+
+        self.connections: Dict[int, Connection] = {}
+        self._backlogged: Set[int] = set()  # peers with non-empty backlog
+        self._send_ctx: Dict[int, tuple] = {}
+        self._ctx_ids = itertools.count(1)
+        self._rndv_send: Dict[int, RndvSendOp] = {}
+        self._rndv_recv: Dict[int, RndvRecvOp] = {}
+        self._coll_seq: Dict[int, int] = {}  # context -> collective sequence
+        #: on-demand connection setup hook (None = static full mesh)
+        self._connector = connector
+        #: armed waiter for RDMA-ring arrivals (the spin-loop stand-in)
+        self._ring_notify = None
+        self.finalized = False
+
+        # observability
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.wait_ns = 0
+
+    # ------------------------------------------------------------------
+    # wiring (done by the cluster builder before programs start)
+    # ------------------------------------------------------------------
+    def add_connection(self, peer: int, conn: Connection) -> None:
+        self.connections[peer] = conn
+        if self.config.use_rdma_channel:
+            from repro.mpi.rdma_channel import RDMAChannel
+
+            conn.rdma_eager = True
+            channel = RDMAChannel(
+                self, peer, slots=self.requested_prepost,
+                slot_bytes=self.config.vbuf_bytes,
+            )
+            channel.ring.mr.on_write = lambda addr, payload, ch=channel: ch.deposit(payload)
+            conn.rx_channel = channel
+        self.scheme.setup_connection(conn, self.requested_prepost)
+
+    @staticmethod
+    def wire_rdma_rings(conn_ab: Connection, conn_ba: Connection) -> None:
+        """Exchange ring coordinates between the two halves of a freshly
+        established connection (part of connection setup in RDMA mode)."""
+        for tx, rx in ((conn_ab, conn_ba), (conn_ba, conn_ab)):
+            ring = rx.rx_channel.ring
+            tx.tx_ring_addr = ring.mr.addr
+            tx.tx_ring_rkey = ring.mr.rkey
+            tx.tx_ring_slots = ring.slots
+            tx.tx_ring_next = 0
+
+    def _post_recv_vbuf(self, conn: Connection) -> None:
+        conn.qp.post_recv(RecvWR(wr_id=conn.peer, capacity=self.config.vbuf_bytes))
+        conn.recv_posted += 1
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    # ------------------------------------------------------------------
+    # public API: point-to-point
+    # ------------------------------------------------------------------
+    def isend(
+        self,
+        dest: int,
+        size: int,
+        tag: int = 0,
+        payload: Any = None,
+        buffer_id: Optional[object] = None,
+        context: int = WORLD_CONTEXT,
+        mode: str = "standard",
+    ) -> Generator:
+        """Non-blocking send; returns a :class:`Request`.
+
+        ``mode`` selects the MPI communication mode (paper §3.1: "MPI
+        defines four different communication modes: Standard, Synchronous,
+        Buffered, and Ready"):
+
+        * ``"standard"`` / ``"buffered"`` — eager below the rendezvous
+          threshold (this device buffers through the vbuf pool, so the two
+          behave identically), rendezvous above;
+        * ``"sync"`` — always rendezvous: the request cannot complete until
+          the handshake proves a matching receive exists (MPI_Ssend);
+        * ``"ready"`` — like standard, but the receiver *errors* if the
+          message arrives unexpected (MPI_Rsend's contract).
+        """
+        if mode not in ("standard", "buffered", "sync", "ready"):
+            raise MPIError(f"unknown send mode {mode!r}")
+        self._check_peer(dest)
+        if size < 0:
+            raise MPIError(f"negative message size {size}")
+        req = Request(self.sim, "send")
+        conn = yield from self._ensure_connected(dest)
+        self.bytes_sent += size
+        yield Timeout(self.config.call_overhead_ns)
+
+        if mode != "sync" and size <= self.config.rndv_threshold():
+            header = Header(
+                kind=MsgKind.EAGER,
+                src=self.rank,
+                dst=dest,
+                tag=tag,
+                context=context,
+                size=size,
+                payload=payload,
+                paid=True,
+                ready=(mode == "ready"),
+            )
+            # A non-empty backlog forces FIFO (MPI non-overtaking): new
+            # sends may not jump the queue even if a credit is available.
+            if not conn.backlog and self.scheme.try_consume_credit(conn):
+                if conn.rdma_eager:
+                    cost = self._emit_ring(conn, header, req)
+                else:
+                    yield from self._await_pool(control=False)
+                    cost = self._emit(conn, header, "eager", req, control=False)
+                yield Timeout(cost)
+            else:
+                self._enqueue_backlog(conn, PendingSend(header, req, self.now))
+                yield Timeout(self._drain(conn))
+        else:
+            # Rendezvous path (large messages, and every "sync" send —
+            # the CTS proves the receive is matched).  Small synchronous
+            # payloads ride the pre-registered bounce region instead of
+            # paying a pin.
+            bounce = size <= self.config.eager_max()
+            if bounce:
+                mr, pin_cost = None, 0
+            else:
+                mr, pin_cost = self.pindown.acquire(buffer_id, size)
+            yield Timeout(pin_cost)
+            op = RndvSendOp(
+                sreq_id=next_op_id(),
+                request=req,
+                dst=dest,
+                tag=tag,
+                context=context,
+                size=size,
+                payload=payload,
+                buffer_id=buffer_id,
+                mr=mr,
+                bounce=bounce,
+            )
+            self._rndv_send[op.sreq_id] = op
+            header = Header(
+                kind=MsgKind.RNDV_RTS,
+                src=self.rank,
+                dst=dest,
+                tag=tag,
+                context=context,
+                size=size,
+                sreq_id=op.sreq_id,
+                paid=True,
+            )
+            if not conn.backlog and self.scheme.try_consume_credit(conn):
+                yield from self._await_pool(control=False)
+                cost = self._emit(conn, header, "ctl", None, control=False)
+                op.rts_sent = True
+                yield Timeout(cost)
+            else:
+                self._enqueue_backlog(conn, PendingSend(header, op, self.now))
+                yield Timeout(self._drain(conn))
+        # Opportunistic progress poke: every MPI call advances the engine
+        # (as MPICH's ADI does) — without it, a rank that only isends would
+        # never see CTSs or credit updates (user-level flow control "relies
+        # on communication progress", paper §4.2).
+        yield from self._poll_once()
+        return req
+
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        capacity: int = 0,
+        tag: int = ANY_TAG,
+        buffer_id: Optional[object] = None,
+        context: int = WORLD_CONTEXT,
+    ) -> Generator:
+        """Non-blocking receive; returns a :class:`Request`."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        req = Request(self.sim, "recv")
+        yield Timeout(self.config.call_overhead_ns)
+        posted = PostedRecv(source, tag, context, capacity, req, buffer_id)
+        unexpected = self.matching.post_recv(posted)
+        if unexpected is not None:
+            h = unexpected.header
+            if h.kind is MsgKind.EAGER:
+                self._check_capacity(h, capacity)
+                yield Timeout(self.config.copy_ns(h.size))
+                self.bytes_received += h.size
+                self._complete_recv(req, h.src, h.tag, h.size, h.payload)
+                if not h.via_ring:
+                    # The message's vbuf was pinned while it sat unexpected;
+                    # copy-out releases it now (ring slots were already
+                    # freed at arrival).
+                    yield Timeout(self._repost_after(self.connections[h.src], h.paid))
+            else:  # RNDV_RTS
+                self._check_capacity(h, capacity)
+                cost = self._rndv_recv_start(h, posted)
+                yield Timeout(cost)
+        yield from self._poll_once()
+        return req
+
+    def send(self, dest: int, size: int, **kwargs) -> Generator:
+        """Blocking send (MPI_Send): returns once the operation finished
+        locally — for eager sends that is the moment the payload is staged
+        (buffered semantics); for rendezvous, the end of the handshake."""
+        req = yield from self.isend(dest, size, **kwargs)
+        yield from self.wait(req)
+
+    def ssend(self, dest: int, size: int, **kwargs) -> Generator:
+        """Blocking synchronous send (MPI_Ssend): completes only after the
+        receiver has matched the message (forced rendezvous)."""
+        req = yield from self.isend(dest, size, mode="sync", **kwargs)
+        yield from self.wait(req)
+
+    def issend(self, dest: int, size: int, **kwargs) -> Generator:
+        req = yield from self.isend(dest, size, mode="sync", **kwargs)
+        return req
+
+    def rsend(self, dest: int, size: int, **kwargs) -> Generator:
+        """Blocking ready send (MPI_Rsend): erroneous unless the matching
+        receive is already posted at the destination."""
+        req = yield from self.isend(dest, size, mode="ready", **kwargs)
+        yield from self.wait(req)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        capacity: int = 0,
+        tag: int = ANY_TAG,
+        **kwargs,
+    ) -> Generator:
+        """Blocking receive; returns the :class:`Status`."""
+        req = yield from self.irecv(source, capacity, tag, **kwargs)
+        status = yield from self.wait(req)
+        return status
+
+    def wait(self, request: Request) -> Generator:
+        """Block until ``request`` completes; returns its status."""
+        t0 = self.now
+        yield from self._progress_until(lambda: request.done)
+        self.wait_ns += self.now - t0
+        return request.status
+
+    def waitall(self, requests: List[Request]) -> Generator:
+        """Block until every request completes; returns their statuses."""
+        t0 = self.now
+        yield from self._progress_until(lambda: all(r.done for r in requests))
+        self.wait_ns += self.now - t0
+        return [r.status for r in requests]
+
+    def test(self, request: Request) -> Generator:
+        """One progress poke; returns (done, status_or_None)."""
+        yield from self._poll_once()
+        return (request.done, request.status)
+
+    def iprobe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, context: int = WORLD_CONTEXT
+    ) -> Generator:
+        """Non-blocking probe of the unexpected queue (after one poke)."""
+        yield from self._poll_once()
+        h = self.matching.iprobe(source, tag, context)
+        return None if h is None else Status(h.src, h.tag, h.size)
+
+    def compute(self, ns: int) -> Generator:
+        """Model local computation: burn simulated CPU time without
+        progressing MPI (this is exactly the application-bypass window)."""
+        if ns > 0:
+            yield Timeout(int(ns))
+
+    # ------------------------------------------------------------------
+    # public API: collectives (thin delegation; see repro.mpi.collectives)
+    # ------------------------------------------------------------------
+    def barrier(self) -> Generator:
+        from repro.mpi import collectives
+
+        yield from collectives.barrier(self)
+
+    def bcast(self, root: int, size: int, payload: Any = None) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.bcast(self, root, size, payload)
+        return result
+
+    def reduce(self, root: int, size: int, value: Any = None, op: Callable = None) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.reduce(self, root, size, value, op)
+        return result
+
+    def allreduce(self, size: int, value: Any = None, op: Callable = None) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.allreduce(self, size, value, op)
+        return result
+
+    def alltoall(self, size_per_peer: int, payloads: Optional[list] = None) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.alltoall(self, size_per_peer, payloads)
+        return result
+
+    def alltoallv(self, sizes: List[int], payloads: Optional[list] = None,
+                  recv_sizes: Optional[List[int]] = None) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.alltoallv(self, sizes, payloads, recv_sizes)
+        return result
+
+    def allgather(self, size: int, value: Any = None) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.allgather(self, size, value)
+        return result
+
+    def gather(self, root: int, size: int, value: Any = None) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.gather(self, root, size, value)
+        return result
+
+    def scatter(self, root: int, size: int, values: Optional[list] = None) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.scatter(self, root, size, values)
+        return result
+
+    # ------------------------------------------------------------------
+    # finalize
+    # ------------------------------------------------------------------
+    def finalize(self) -> Generator:
+        """Quiesce: wait for all local sends to complete and backlogs to
+        drain, then synchronise with every rank.  After finalize, stray
+        inbound control traffic parks in posted vbufs without needing this
+        rank's attention (no RNR livelock)."""
+        yield from self._progress_until(self._locally_quiescent)
+        yield from self.barrier()
+        yield from self._progress_until(self._locally_quiescent)
+        self.finalized = True
+
+    def _locally_quiescent(self) -> bool:
+        return (
+            all(
+                not c.backlog and c.qp.outstanding_sends == 0
+                for c in self.connections.values()
+            )
+            and not self._rndv_send
+            and not self._send_ctx  # every completion polled (pool released)
+            and len(self.cq) == 0
+        )
+
+    # ------------------------------------------------------------------
+    # progress engine
+    # ------------------------------------------------------------------
+    def _ring_signal_fire(self) -> None:
+        if self._ring_notify is not None:
+            sig, self._ring_notify = self._ring_notify, None
+            sig.fire(self.sim, None)
+
+    def _ring_wait(self):
+        from repro.sim import Signal
+
+        if self._ring_notify is None:
+            self._ring_notify = Signal(f"ring.{self.rank}")
+        return self._ring_notify
+
+    def _ring_ready(self) -> bool:
+        """Any RDMA-ring arrival that is next in its connection's sequence?"""
+        for conn in self.connections.values():
+            ch = conn.rx_channel
+            if ch is not None and ch.poll_peek(conn.seq_in_expected):
+                return True
+        return False
+
+    def _progress_until(self, pred: Callable[[], bool]) -> Generator:
+        from repro.sim import AnyOf
+
+        while not pred():
+            yield from self._poll_once()
+            if pred():
+                return
+            if len(self.cq) == 0 and not self._ring_ready():
+                if self.config.use_rdma_channel:
+                    yield AnyOf([self.cq.wait_nonempty(), self._ring_wait()])
+                else:
+                    yield self.cq.wait_nonempty()
+
+    def _poll_once(self) -> Generator:
+        """Drain the CQ and the RDMA rings, handling each completion (and
+        charging its CPU cost); drains backlogs afterwards."""
+        yield Timeout(self.config.poll_overhead_ns)
+        while True:
+            progressed = False
+            wcs = self.cq.poll(32)
+            for wc in wcs:
+                progressed = True
+                cost = self._handle_wc(wc)
+                if cost:
+                    yield Timeout(cost)
+            if self.config.use_rdma_channel:
+                for conn in list(self.connections.values()):
+                    ch = conn.rx_channel
+                    while ch is not None:
+                        h = ch.poll(conn.seq_in_expected)
+                        if h is None:
+                            break
+                        progressed = True
+                        cost = self._handle_ring_eager(conn, h)
+                        if cost:
+                            yield Timeout(cost)
+            if not progressed:
+                break
+        cost = self._drain_backlogged()
+        if cost:
+            yield Timeout(cost)
+
+    def _handle_wc(self, wc: WC) -> int:
+        if not wc.ok:
+            raise MPIError(f"rank {self.rank}: completion error {wc.status} ({wc})")
+        if wc.is_recv:
+            return self._handle_recv(wc)
+        return self._handle_send_done(wc)
+
+    # --- inbound ---------------------------------------------------------
+    def _handle_recv(self, wc: WC) -> int:
+        h: Header = wc.data
+        conn = self.connections[h.src]
+        conn.recv_posted -= 1
+        cost = self.config.header_proc_ns
+
+        if h.seq != conn.seq_in_expected:
+            raise MPIError(
+                f"rank {self.rank}: out-of-order delivery from {h.src}: "
+                f"seq {h.seq} != expected {conn.seq_in_expected}"
+            )
+        conn.seq_in_expected += 1
+
+        if h.credits:
+            self.scheme.on_credits_received(conn, h.credits)
+
+        # Dispatch.  ``absorbed`` is False only for unexpected eager data:
+        # its payload stays parked in the vbuf until the application posts
+        # the matching receive (the vbuf IS the storage — MVICH design),
+        # so that buffer cannot be re-posted yet.  This is precisely how a
+        # fast sender exhausts a slow receiver (paper §3.2).
+        absorbed = True
+        if h.kind is MsgKind.EAGER:
+            posted = self.matching.arrived(h, self.now)
+            if posted is not None:
+                self._check_capacity(h, posted.capacity)
+                cost += self.config.copy_ns(h.size)  # vbuf -> user buffer
+                self.bytes_received += h.size
+                self._complete_recv(posted.request, h.src, h.tag, h.size, h.payload)
+            else:
+                if h.ready:
+                    raise MPIError(
+                        f"rank {self.rank}: ready-mode message from {h.src} "
+                        f"(tag {h.tag}) arrived with no matching receive "
+                        "posted — MPI_Rsend contract violated"
+                    )
+                absorbed = False  # vbuf pinned until matched
+        elif h.kind is MsgKind.RNDV_RTS:
+            posted = self.matching.arrived(h, self.now)
+            if posted is not None:
+                self._check_capacity(h, posted.capacity)
+                cost += self._rndv_recv_start(h, posted)
+            # an unexpected RTS is fully parsed here; its vbuf is reusable
+        elif h.kind is MsgKind.RNDV_CTS:
+            cost += self._handle_cts(conn, h)
+        elif h.kind is MsgKind.RNDV_FIN:
+            cost += self._handle_fin(h)
+        elif h.kind is MsgKind.CREDIT:
+            pass  # credits already folded in above
+        elif h.kind is MsgKind.RING_RESIZE:
+            # switch the sender half to the peer's next-generation ring
+            conn.tx_ring_addr = h.remote_addr
+            conn.tx_ring_rkey = h.rkey
+            conn.tx_ring_slots = h.size
+            conn.tx_ring_next = 0
+        else:  # pragma: no cover - exhaustive
+            raise MPIError(f"unknown message kind {h.kind}")
+
+        if absorbed:
+            cost += self._repost_after(conn, h.paid)
+
+        # Feedback hook (dynamic growth); charges posting of new buffers.
+        grown = self.scheme.on_recv_header(conn, h)
+        if grown:
+            cost += grown * self.config.post_overhead_ns
+            if self.scheme.should_send_ecm(conn):
+                cost += self._emit_ecm(conn)
+
+        if conn.backlog:
+            cost += self._drain(conn)
+        return cost
+
+    def _repost_after(self, conn: Connection, paid: bool) -> int:
+        """Re-post a vbuf whose message has been fully processed, granting
+        the credit back for paid messages (unpaid traffic occupies the
+        non-credited headroom — see protocol.Header.paid).
+
+        The grant is decoupled from the physical repost: if dynamic growth
+        already refilled the population while this message's vbuf was
+        pinned in the unexpected queue, the buffer was replaced but the
+        paid credit must still return.  Only an *over*-full population
+        (decay contraction) swallows the credit.
+        """
+        cost = 0
+        cap = conn.prepost_target + conn.headroom
+        reposted = False
+        if conn.recv_posted < cap:
+            self._post_recv_vbuf(conn)
+            cost += self.config.post_overhead_ns
+            reposted = True
+        if paid and (reposted or conn.recv_posted == cap):
+            conn.pending_credit_return += 1
+            if self.scheme.should_send_ecm(conn):
+                cost += self._emit_ecm(conn)
+        if conn.backlog:
+            cost += self._drain(conn)
+        return cost
+
+    def _handle_cts(self, conn: Connection, h: Header) -> int:
+        op = self._rndv_send.get(h.sreq_id)
+        if op is None:
+            raise MPIError(f"rank {self.rank}: CTS for unknown sreq {h.sreq_id}")
+        op.cts_seen = True
+        op.fin_rreq_id = h.rreq_id
+        if op.fallback:
+            conn.fallback_inflight -= 1
+        ctx_id = next(self._ctx_ids)
+        self._send_ctx[ctx_id] = ("rdma", conn, op)
+        conn.qp.post_send(
+            SendWR(
+                wr_id=ctx_id,
+                opcode=Opcode.RDMA_WRITE,
+                length=op.size,
+                payload=op.payload,
+                remote_addr=h.remote_addr,
+                rkey=h.rkey,
+            )
+        )
+        conn.stats.msgs_sent += 1
+        conn.stats.data_msgs_sent += 1
+        cost = self.config.post_overhead_ns
+        if op.bounce:
+            cost += self.config.copy_ns(op.size)  # stage into pinned scratch
+        return cost
+
+    def _handle_fin(self, h: Header) -> int:
+        op = self._rndv_recv.pop(h.rreq_id, None)
+        if op is None:
+            raise MPIError(f"rank {self.rank}: FIN for unknown rreq {h.rreq_id}")
+        payload = op.mr.load(op.landing_addr)
+        cost = 0
+        if op.bounce:
+            cost += self.config.copy_ns(op.size)  # bounce slot -> user buffer
+        else:
+            cost += self.pindown.release(op.buffer_id, op.mr)
+        self.bytes_received += op.size
+        self._complete_recv(op.request, op.src, op.tag, op.size, payload)
+        return cost
+
+    # --- outbound completions --------------------------------------------
+    def _handle_send_done(self, wc: WC) -> int:
+        ctx = self._send_ctx.pop(wc.wr_id, None)
+        if ctx is None:
+            raise MPIError(f"rank {self.rank}: completion for unknown ctx {wc.wr_id}")
+        kind, conn, ref = ctx
+        cost = 0
+        if kind == "ring":
+            pass  # no vbuf was consumed; the request completed at emission
+        elif kind in ("eager", "ctl"):
+            self.pool.release()
+        elif kind == "rdma":
+            op: RndvSendOp = ref
+            op.data_done = True
+            cost += self._emit_fin(conn, op)
+            if op.mr is not None:
+                cost += self.pindown.release(op.buffer_id, op.mr)
+            del self._rndv_send[op.sreq_id]
+            op.request.complete(Status())
+        else:  # pragma: no cover
+            raise MPIError(f"unknown send ctx kind {kind}")
+        return cost
+
+    # ------------------------------------------------------------------
+    # emission paths
+    # ------------------------------------------------------------------
+    def _pool_ok(self, control: bool) -> bool:
+        floor = 0 if control else CONTROL_RESERVE
+        return self.pool.free > floor
+
+    def _await_pool(self, control: bool) -> Generator:
+        while not self._pool_ok(control):
+            yield from self._progress_until(lambda: self._pool_ok(control))
+
+    def _emit(
+        self,
+        conn: Connection,
+        header: Header,
+        ctx_kind: str,
+        ref: Any,
+        control: bool,
+    ) -> int:
+        """Stage a protocol message into a vbuf and post it.  The caller
+        must have verified pool availability (``_pool_ok``).  Returns CPU
+        cost."""
+        if not self.pool.try_acquire():
+            raise MPIError(f"rank {self.rank}: vbuf pool exhausted (control reserve breached)")
+        piggy = conn.take_piggyback_credits()
+        header.credits += piggy
+        header.seq = conn.next_seq()
+        ctx_id = next(self._ctx_ids)
+        self._send_ctx[ctx_id] = (ctx_kind, conn, ref)
+        wire = header.wire_payload_bytes(self.config.header_bytes)
+        conn.qp.post_send(
+            SendWR(wr_id=ctx_id, opcode=Opcode.SEND, length=wire, payload=header)
+        )
+        conn.stats.msgs_sent += 1
+        cost = self.config.post_overhead_ns
+        if header.kind is MsgKind.EAGER:
+            conn.stats.data_msgs_sent += 1
+            cost += self.config.copy_ns(header.size)  # user -> vbuf copy
+            if ref is not None:
+                # Buffered-send semantics: the user buffer is reusable the
+                # moment the payload is staged into the vbuf, so the send
+                # request completes at emission (not at the ACK).  A send
+                # that had to wait in the backlog therefore blocks its
+                # MPI_Send until credits/handshake let it out — which is
+                # exactly how blocking tests "get more credits through the
+                # handshaking procedure" (paper §6.2.2).
+                ref.complete(Status())
+        if header.kind is MsgKind.CREDIT:
+            conn.stats.ecm_sent += 1
+            conn.stats.ecm_credits += header.credits
+        else:
+            conn.stats.piggybacked_credits += piggy
+        return cost
+
+    def _emit_ring(self, conn: Connection, header: Header, req) -> int:
+        """Write an eager message into the peer's RDMA ring (no vbuf, no
+        remote WQE).  Buffered-send semantics: the request completes at
+        emission."""
+        piggy = conn.take_piggyback_credits()
+        header.credits += piggy
+        header.seq = conn.next_seq()
+        header.via_ring = True
+        ctx_id = next(self._ctx_ids)
+        self._send_ctx[ctx_id] = ("ring", conn, None)
+        conn.qp.post_send(
+            SendWR(
+                wr_id=ctx_id,
+                opcode=Opcode.RDMA_WRITE,
+                length=self.config.header_bytes + header.size,
+                payload=header,
+                remote_addr=conn.next_ring_addr(),
+                rkey=conn.tx_ring_rkey,
+            )
+        )
+        conn.stats.msgs_sent += 1
+        conn.stats.data_msgs_sent += 1
+        conn.stats.piggybacked_credits += piggy
+        if req is not None:
+            req.complete(Status())
+        return self.config.post_overhead_ns + self.config.copy_ns(header.size)
+
+    def _handle_ring_eager(self, conn: Connection, h: Header) -> int:
+        """Process one in-sequence arrival from the RDMA eager ring.
+
+        Unlike the send/recv channel, unexpected ring messages are copied
+        out of the slot immediately (the [13] design — rings must free in
+        order), so the slot credit returns at processing time either way.
+        """
+        cost = self.config.rdma_poll_ns + self.config.header_proc_ns
+        conn.seq_in_expected += 1
+        if h.credits:
+            self.scheme.on_credits_received(conn, h.credits)
+
+        cost += self.config.copy_ns(h.size)  # slot -> user/temp copy
+        self.bytes_received += h.size
+        posted = self.matching.arrived(h, self.now)
+        if posted is not None:
+            self._check_capacity(h, posted.capacity)
+            self._complete_recv(posted.request, h.src, h.tag, h.size, h.payload)
+        elif h.ready:
+            raise MPIError(
+                f"rank {self.rank}: ready-mode message from {h.src} arrived "
+                "with no matching receive posted"
+            )
+
+        # slot freed -> credit grant
+        conn.pending_credit_return += 1
+        if self.scheme.should_send_ecm(conn):
+            cost += self._emit_ecm(conn)
+
+        # dynamic growth: the two-sided resize (paper §7)
+        self.scheme.on_recv_header(conn, h)
+        ch = conn.rx_channel
+        if conn.prepost_target > ch.ring.slots:
+            ring = ch.grow(conn.prepost_target)
+            ring.mr.on_write = lambda addr, payload, c=ch: c.deposit(payload)
+            resize = Header(
+                kind=MsgKind.RING_RESIZE,
+                src=self.rank,
+                dst=conn.peer,
+                size=ring.slots,
+                remote_addr=ring.mr.addr,
+                rkey=ring.mr.rkey,
+                paid=False,
+            )
+            cost += self._emit(conn, resize, "ctl", None, control=True)
+
+        if conn.backlog:
+            cost += self._drain(conn)
+        return cost
+
+    def _emit_ecm(self, conn: Connection) -> int:
+        """Explicit credit message — optimistic, never flow-controlled
+        (the paper's deadlock-avoidance scheme)."""
+        ecm = Header(
+            kind=MsgKind.CREDIT, src=self.rank, dst=conn.peer, paid=False
+        )
+        return self._emit(conn, ecm, "ctl", None, control=True)
+
+    def _emit_fin(self, conn: Connection, op: RndvSendOp) -> int:
+        fin = Header(
+            kind=MsgKind.RNDV_FIN,
+            src=self.rank,
+            dst=conn.peer,
+            rreq_id=op.fin_rreq_id,
+            paid=False,
+        )
+        return self._emit(conn, fin, "ctl", None, control=True)
+
+    # ------------------------------------------------------------------
+    # backlog / flow-control plumbing
+    # ------------------------------------------------------------------
+    def _enqueue_backlog(self, conn: Connection, pending: PendingSend) -> None:
+        conn.backlog.append(pending)
+        conn.stats.backlogged += 1
+        self._backlogged.add(conn.peer)
+
+    def _drain_backlogged(self) -> int:
+        cost = 0
+        for peer in list(self._backlogged):
+            cost += self._drain(self.connections[peer])
+        return cost
+
+    def _drain(self, conn: Connection) -> int:
+        """Process the backlog FIFO: send while credits allow; with zero
+        credits, push the head through the rendezvous fallback (one
+        handshake at a time per connection)."""
+        cost = 0
+        while conn.backlog and conn.credits > 0 and self._pool_ok(control=False):
+            if not self.scheme.try_consume_credit(conn):  # pragma: no cover
+                break
+            p = conn.backlog.popleft()
+            p.header.went_backlog = True
+            conn.stats.credit_stalled_ns += self.now - p.enqueue_ns
+            if p.header.kind is MsgKind.EAGER:
+                if conn.rdma_eager:
+                    cost += self._emit_ring(conn, p.header, p.request)
+                else:
+                    cost += self._emit(conn, p.header, "eager", p.request, control=False)
+            else:  # RNDV_RTS
+                cost += self._emit(conn, p.header, "ctl", None, control=False)
+                p.request.rts_sent = True  # p.request is the RndvSendOp
+        while (
+            conn.backlog
+            and conn.credits == 0
+            and self.scheme.allows_rndv_fallback
+            and conn.fallback_inflight < self.scheme.fallback_window
+            and self._pool_ok(control=True)
+        ):
+            cost += self._start_fallback(conn, conn.backlog.popleft())
+        if not conn.backlog:
+            self._backlogged.discard(conn.peer)
+        return cost
+
+    def _start_fallback(self, conn: Connection, p: PendingSend) -> int:
+        """Convert the head of the backlog to an optimistic rendezvous
+        (paper §4.2: with no credits, only Rendezvous is used — its
+        handshake refreshes credit state via piggybacking)."""
+        conn.fallback_inflight += 1
+        conn.stats.rndv_fallbacks += 1
+        conn.stats.credit_stalled_ns += self.now - p.enqueue_ns
+        h = p.header
+        if h.kind is MsgKind.EAGER:
+            op = RndvSendOp(
+                sreq_id=next_op_id(),
+                request=p.request,
+                dst=h.dst,
+                tag=h.tag,
+                context=h.context,
+                size=h.size,
+                payload=h.payload,
+                buffer_id=None,
+                mr=None,
+                bounce=True,
+                fallback=True,
+            )
+            self._rndv_send[op.sreq_id] = op
+        else:  # an RTS that was itself backlogged: send it unpaid
+            op = p.request
+            op.fallback = True
+        rts = Header(
+            kind=MsgKind.RNDV_RTS,
+            src=self.rank,
+            dst=conn.peer,
+            tag=h.tag,
+            context=h.context,
+            size=h.size,
+            sreq_id=op.sreq_id,
+            paid=False,
+            went_backlog=True,
+        )
+        op.rts_sent = True
+        return self._emit(conn, rts, "ctl", None, control=True)
+
+    # ------------------------------------------------------------------
+    # rendezvous receiver side
+    # ------------------------------------------------------------------
+    def _rndv_recv_start(self, h: Header, posted: PostedRecv) -> int:
+        conn = self.connections[h.src]
+        bounce = h.size <= self.config.eager_max()
+        cost = 0
+        if bounce:
+            mr = self.bounce.mr
+            addr = self.bounce.next_slot()
+        else:
+            mr, pin_cost = self.pindown.acquire(posted.buffer_id, h.size)
+            addr = mr.addr
+            cost += pin_cost
+        op = RndvRecvOp(
+            rreq_id=next_op_id(),
+            request=posted.request,
+            src=h.src,
+            tag=h.tag,
+            context=h.context,
+            size=h.size,
+            buffer_id=posted.buffer_id,
+            mr=mr,
+            landing_addr=addr,
+            bounce=bounce,
+        )
+        self._rndv_recv[op.rreq_id] = op
+        cts = Header(
+            kind=MsgKind.RNDV_CTS,
+            src=self.rank,
+            dst=h.src,
+            size=h.size,
+            sreq_id=h.sreq_id,
+            rreq_id=op.rreq_id,
+            remote_addr=addr,
+            rkey=mr.rkey,
+            paid=False,
+        )
+        op.cts_sent = True
+        cost += self._emit(conn, cts, "ctl", None, control=True)
+        return cost
+
+    # ------------------------------------------------------------------
+    # misc helpers
+    # ------------------------------------------------------------------
+    def _complete_recv(self, req: Request, src: int, tag: int, size: int, payload: Any) -> None:
+        req.complete(Status(source=src, tag=tag, size=size, payload=payload))
+
+    def _check_peer(self, peer: int) -> None:
+        if peer == self.rank:
+            raise MPIError("self-sends are not supported by this device")
+        if not 0 <= peer < self.world_size:
+            raise MPIError(f"rank {peer} outside the world of {self.world_size}")
+        if peer not in self.connections and self._connector is None:
+            raise MPIError(f"rank {self.rank} has no connection to {peer}")
+
+    def _ensure_connected(self, dest: int) -> Generator:
+        """Return the connection to ``dest``, establishing it on demand
+        when the cluster runs with lazy connection management (the send
+        blocks for the CM exchange, as in MVAPICH's on-demand mode)."""
+        conn = self.connections.get(dest)
+        if conn is None:
+            sig = self._connector(self, dest)
+            if not sig.fired:
+                yield sig
+            conn = self.connections[dest]
+        return conn
+
+    @staticmethod
+    def _check_capacity(h: Header, capacity: int) -> None:
+        if capacity and h.size > capacity:
+            raise TruncationError(
+                f"message of {h.size} bytes into a {capacity}-byte receive"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Endpoint rank={self.rank}/{self.world_size}>"

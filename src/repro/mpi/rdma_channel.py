@@ -1,0 +1,136 @@
+"""RDMA-write-based eager channel (the paper's companion design, [13]:
+Liu et al., "High Performance RDMA-Based MPI Implementation over
+InfiniBand", ICS'03).
+
+Instead of SEND into a pre-posted receive WQE, each connection's eager
+messages are RDMA-written into a *ring* of fixed 2 KB slots in the
+receiver's registered memory.  The receiver discovers arrivals by polling
+the slots' completion flags — no receive WQE, no CQE, no RNR NAK is ever
+involved, and small-message latency drops by the receive-side WQE/CQE
+processing (the paper quotes 6.8 µs vs the send/recv design's ~7.5 µs).
+
+Flow control maps onto the same credit machinery the paper studies: a ring
+slot *is* a credit.  The sender consumes one per eager message; the
+receiver returns slots via the usual piggyback/ECM paths after copying a
+message out.  The paper's §7 remark is reproduced faithfully: the dynamic
+scheme "is more complicated because cooperation between both the sender
+and the receiver is necessary in order to increase the number of posted
+buffers" — growing means allocating a *new, larger ring* and telling the
+sender to switch (a RING_RESIZE control message); messages in flight to
+the old ring drain by sequence number.
+
+Simulation note: the receiver's memory polling is modelled by a one-shot
+signal fired when an RDMA-written message becomes visible — equivalent to
+a sub-microsecond spin loop without flooding the event queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.ib.mr import MemoryRegion
+from repro.sim import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.endpoint import Endpoint
+    from repro.mpi.protocol import Header
+
+
+class RingBuffer:
+    """One generation of a connection's receive ring."""
+
+    __slots__ = ("mr", "slots", "slot_bytes", "next_slot", "generation")
+
+    def __init__(self, mr: MemoryRegion, slots: int, slot_bytes: int, generation: int):
+        self.mr = mr
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.next_slot = 0
+        self.generation = generation
+
+    def next_addr(self) -> int:
+        addr = self.mr.addr + self.next_slot * self.slot_bytes
+        self.next_slot = (self.next_slot + 1) % self.slots
+        return addr
+
+
+class RDMAChannel:
+    """Receiver-side state of one connection's RDMA eager channel.
+
+    The *sender* half lives on the Connection: it just needs the current
+    ring's (addr, rkey, slots) advertisement and the shared credit count.
+    """
+
+    def __init__(self, endpoint: "Endpoint", peer: int, slots: int, slot_bytes: int):
+        self.endpoint = endpoint
+        self.peer = peer
+        self.slot_bytes = slot_bytes
+        self.generation = 0
+        self.ring = self._allocate(slots)
+        #: arrived-but-unprocessed headers, ordered by sequence number (two
+        #: ring generations can be in flight during a resize)
+        self._arrived: List[Tuple[int, "Header"]] = []
+        self._notify: Optional[Signal] = None
+        # observability
+        self.messages = 0
+        self.resizes = 0
+
+    def _allocate(self, slots: int) -> RingBuffer:
+        mr = self.endpoint.hca.reg_mr(max(1, slots) * self.slot_bytes)
+        ring = RingBuffer(mr, slots, self.slot_bytes, self.generation)
+        self.generation += 1
+        return ring
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+    def deposit(self, header: "Header") -> None:
+        """An RDMA-written eager message became visible in some slot (the
+        simulator routes it here from the MR landing)."""
+        heapq.heappush(self._arrived, (header.seq, header))
+        self.messages += 1
+        self.endpoint._ring_signal_fire()
+
+    def poll(self, expected_seq: int) -> Optional["Header"]:
+        """Next in-sequence arrived header, if visible."""
+        if self._arrived and self._arrived[0][0] == expected_seq:
+            return heapq.heappop(self._arrived)[1]
+        return None
+
+    def poll_peek(self, expected_seq: int) -> bool:
+        """Would :meth:`poll` return a header right now?"""
+        return bool(self._arrived) and self._arrived[0][0] == expected_seq
+
+    def wait_signal(self) -> Signal:
+        """One-shot arrival notification (the spin-loop stand-in)."""
+        sig = Signal(f"rdmach.{self.endpoint.rank}<-{self.peer}")
+        if self._arrived:
+            sig.fire(self.endpoint.sim, None)
+        else:
+            if self._notify is not None:
+                return self._notify
+            self._notify = sig
+        return sig
+
+    @property
+    def has_arrivals(self) -> bool:
+        return bool(self._arrived)
+
+    # ------------------------------------------------------------------
+    # dynamic growth: the two-sided resize the paper's §7 describes
+    # ------------------------------------------------------------------
+    def grow(self, new_slots: int) -> RingBuffer:
+        """Allocate the next-generation ring (receiver side).  The old
+        ring stays readable until the sender has switched; the returned
+        ring's coordinates travel to the sender in a RING_RESIZE control
+        message."""
+        self.ring = self._allocate(new_slots)
+        self.resizes += 1
+        return self.ring
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<RDMAChannel {self.endpoint.rank}<-{self.peer} "
+            f"slots={self.ring.slots} gen={self.ring.generation}>"
+        )

@@ -1,0 +1,73 @@
+"""Requests and statuses — the user-visible handles of non-blocking MPI.
+
+A :class:`Request` completes at most once; waiters block on its signal via
+the endpoint's progress engine.  :class:`Status` mirrors ``MPI_Status``
+(source/tag/size) plus the delivered payload object, which lets tests
+verify end-to-end data integrity through both protocols.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim import Signal, Simulator
+
+_req_ids = itertools.count(1)
+
+
+@dataclass
+class Status:
+    """Completion information for a receive."""
+
+    source: int = -1
+    tag: int = -1
+    size: int = 0
+    payload: Any = None
+
+
+class Request:
+    """A pending non-blocking operation.
+
+    Attributes
+    ----------
+    kind:
+        ``"send"`` or ``"recv"`` (informational).
+    done:
+        Completion flag; once True, :attr:`status` is valid.
+    """
+
+    __slots__ = ("req_id", "kind", "sim", "done", "status", "_signal")
+
+    def __init__(self, sim: Simulator, kind: str):
+        self.req_id = next(_req_ids)
+        self.kind = kind
+        self.sim = sim
+        self.done = False
+        self.status: Optional[Status] = None
+        self._signal: Optional[Signal] = None
+
+    def complete(self, status: Optional[Status] = None) -> None:
+        if self.done:
+            raise RuntimeError(f"request {self.req_id} completed twice")
+        self.done = True
+        self.status = status or Status()
+        if self._signal is not None:
+            sig, self._signal = self._signal, None
+            sig.fire(self.sim, self.status)
+
+    def completion_signal(self) -> Signal:
+        """A signal that fires when (or immediately if) the request is done.
+
+        Used by ``MPI.wait`` — but note the progress engine must still run;
+        the endpoint's wait loop interleaves polling with this signal.
+        """
+        if self._signal is None:
+            self._signal = Signal(f"req{self.req_id}")
+            if self.done:
+                self._signal.fire(self.sim, self.status)
+        return self._signal
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Request {self.kind} #{self.req_id} {'done' if self.done else 'pending'}>"

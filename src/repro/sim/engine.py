@@ -1,0 +1,156 @@
+"""The event loop at the heart of the simulator.
+
+The :class:`Simulator` owns a binary-heap agenda of :class:`ScheduledEvent`
+entries.  Each entry is ``(time, seq, callback)``; ``seq`` is a global
+monotonically increasing integer so that events scheduled for the same
+nanosecond fire in scheduling order.  This determinism is load-bearing: the
+whole reproduction relies on bit-identical replays for its regression tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.trace import Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. scheduling in the past)."""
+
+
+class ScheduledEvent:
+    """A cancellable entry on the simulator agenda.
+
+    Instances are returned by :meth:`Simulator.schedule`; calling
+    :meth:`cancel` before the event fires removes its effect (the heap entry
+    is lazily discarded).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<ScheduledEvent t={self.time} seq={self.seq}{state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with an integer-ns clock.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer` receiving kernel events.
+        When omitted a no-op tracer is used (the hot path stays cheap).
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self.now: int = 0
+        self._heap: List[ScheduledEvent] = []
+        self._seq: int = 0
+        self._running = False
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: number of events executed so far (cancelled events excluded)
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable, *args: Any) -> ScheduledEvent:
+        """Run ``callback(*args)`` ``delay`` nanoseconds from now.
+
+        ``delay`` must be a non-negative integer; fractional delays indicate
+        a calibration bug upstream and are rejected to protect determinism.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        return self.schedule_at(self.now + int(delay), callback, *args)
+
+    def schedule_at(self, time: int, callback: Callable, *args: Any) -> ScheduledEvent:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is {self.now})"
+            )
+        self._seq += 1
+        ev = ScheduledEvent(int(time), self._seq, callback, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+    def spawn(self, generator: Generator, name: str = "") -> "Process":
+        """Start a coroutine process; it takes its first step immediately
+        (well: at the current simulated instant, after the current event)."""
+        from repro.sim.process import Process
+
+        proc = Process(self, generator, name=name)
+        self.schedule(0, proc._step, None, None)
+        return proc
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Execute events until the agenda empties.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this absolute time.  The clock is
+            left at ``until``.
+        max_events:
+            Safety valve for tests: abort with :class:`SimulationError`
+            after this many events (a livelock detector).
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                ev = heapq.heappop(heap)
+                if ev.cancelled:
+                    continue
+                if until is not None and ev.time > until:
+                    heapq.heappush(heap, ev)
+                    self.now = until
+                    return
+                self.now = ev.time
+                self.events_executed += 1
+                if max_events is not None and self.events_executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely livelock"
+                    )
+                ev.callback(*ev.args)
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[int]:
+        """Time of the next non-cancelled event, or ``None`` if idle."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self.now} pending={len(self._heap)}>"

@@ -1,0 +1,120 @@
+"""Lightweight instrumentation: counters and an optional event trace.
+
+Every layer of the stack reports into a :class:`Tracer` (one per simulated
+cluster).  The benchmark harness reads counters such as
+``"fc.ecm_sent"`` or ``"ib.rnr_nak"`` to build the paper's tables; the
+record stream is only populated when tracing is explicitly enabled so the
+simulation hot path stays allocation-free by default.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named family of integer counters keyed by an arbitrary hashable
+    label (for per-connection statistics use ``(src, dst)`` tuples)."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: Dict[Any, int] = defaultdict(int)
+
+    def add(self, key: Any = None, amount: int = 1) -> None:
+        self.values[key] += amount
+
+    def get(self, key: Any = None) -> int:
+        return self.values.get(key, 0)
+
+    def total(self) -> int:
+        return sum(self.values.values())
+
+    def max(self) -> int:
+        return max(self.values.values()) if self.values else 0
+
+    def items(self) -> Iterable[Tuple[Any, int]]:
+        return self.values.items()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Counter {self.name} total={self.total()}>"
+
+
+class Gauge:
+    """Tracks a current value and its high-water mark per key."""
+
+    __slots__ = ("name", "values", "peaks")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: Dict[Any, int] = defaultdict(int)
+        self.peaks: Dict[Any, int] = defaultdict(int)
+
+    def set(self, key: Any, value: int) -> None:
+        self.values[key] = value
+        if value > self.peaks[key]:
+            self.peaks[key] = value
+
+    def adjust(self, key: Any, delta: int) -> None:
+        self.set(key, self.values[key] + delta)
+
+    def get(self, key: Any) -> int:
+        return self.values.get(key, 0)
+
+    def peak(self, key: Any = None) -> int:
+        if key is not None:
+            return self.peaks.get(key, 0)
+        return max(self.peaks.values()) if self.peaks else 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Gauge {self.name} peak={self.peak()}>"
+
+
+class Tracer:
+    """Aggregates counters/gauges and (optionally) a raw event log.
+
+    Parameters
+    ----------
+    enabled:
+        When False (the default for production runs) :meth:`record` is a
+        no-op; counters always work.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.records: List[Tuple[int, str, tuple]] = []
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            c = self.counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self.gauges[name]
+        except KeyError:
+            g = self.gauges[name] = Gauge(name)
+            return g
+
+    def count(self, name: str, key: Any = None, amount: int = 1) -> None:
+        self.counter(name).add(key, amount)
+
+    def record(self, time: int, kind: str, *detail: Any) -> None:
+        if self.enabled:
+            self.records.append((time, kind, detail))
+
+    def records_of(self, kind: str) -> List[Tuple[int, str, tuple]]:
+        return [r for r in self.records if r[1] == kind]
+
+    def summary(self) -> Dict[str, int]:
+        """Total of every counter — convenient for assertions and reports."""
+        return {name: c.total() for name, c in sorted(self.counters.items())}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Tracer counters={len(self.counters)} records={len(self.records)}>"

@@ -1,0 +1,62 @@
+"""Unit helpers.
+
+Everything in the simulator is integer nanoseconds and bytes.  These helpers
+keep calibration code readable and centralise the (rounding) conversions.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def us(value: float) -> int:
+    """Microseconds → integer nanoseconds."""
+    return int(round(value * NS_PER_US))
+
+
+def ms(value: float) -> int:
+    """Milliseconds → integer nanoseconds."""
+    return int(round(value * NS_PER_MS))
+
+
+def seconds(ns: int) -> float:
+    """Integer nanoseconds → float seconds (for reporting only)."""
+    return ns / NS_PER_S
+
+
+def to_us(ns: int) -> float:
+    """Integer nanoseconds → float microseconds (for reporting only)."""
+    return ns / NS_PER_US
+
+
+def mb_per_s(ns: int, nbytes: int) -> float:
+    """Throughput in the paper's unit (10^6 bytes per second).
+
+    The original figures use MillionBytes/s as was conventional for
+    micro-benchmarks of the era.
+    """
+    if ns <= 0:
+        return 0.0
+    return (nbytes / 1e6) / (ns / NS_PER_S)
+
+
+def transfer_ns(nbytes: int, bytes_per_ns: float) -> int:
+    """Serialisation delay of ``nbytes`` at ``bytes_per_ns``, ≥ 1 ns for any
+    non-empty transfer (zero-duration transfers would break link FIFOs)."""
+    if nbytes <= 0:
+        return 0
+    return max(1, int(round(nbytes / bytes_per_ns)))
+
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """Link signalling rate in Gbit/s → payload bytes per nanosecond.
+
+    InfiniBand uses 8b/10b encoding, so a 10 Gbit/s (4X) link carries
+    8 Gbit/s = 1 byte/ns of data.
+    """
+    return gbps * 0.8 / 8.0

@@ -1,0 +1,159 @@
+"""Things a simulated process can ``yield`` on.
+
+A *waitable* implements ``_block(sim, process)``: the kernel calls it when a
+process yields the object, and the waitable later resumes the process via
+``process._resume(value, exc)``.  Besides :class:`Timeout`, the workhorse is
+:class:`Signal` — a one-shot event used throughout the stack for completion
+notification (CQ arrivals, request completion, credit arrival, ...).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.process import Process
+
+
+class Waitable:
+    """Interface for yieldable objects.  Subclasses override ``_block``."""
+
+    def _block(self, sim: "Simulator", process: "Process") -> None:
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Resume the yielding process after ``delay`` nanoseconds.
+
+    ``yield Timeout(0)`` is a valid "re-schedule me after the current event
+    cascade" idiom and is used by progress loops to avoid starving peers.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = int(delay)
+
+    def _block(self, sim: "Simulator", process: "Process") -> None:
+        sim.schedule(self.delay, process._resume, None, None)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Timeout({self.delay})"
+
+
+class Signal(Waitable):
+    """A one-shot broadcast event carrying an optional value.
+
+    Any number of processes may wait on the same signal; :meth:`fire` wakes
+    them all (in wait order, at the current instant).  Waiting on an
+    already-fired signal resumes immediately with the stored value.  A signal
+    may also carry an exception via :meth:`fail`, which re-raises inside each
+    waiter — this is how the stack propagates fatal transport errors into
+    blocked MPI calls.
+    """
+
+    __slots__ = ("name", "fired", "value", "exc", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self.exc: Optional[BaseException] = None
+        self._waiters: List["Process"] = []
+
+    def _block(self, sim: "Simulator", process: "Process") -> None:
+        if self.fired:
+            sim.schedule(0, process._resume, self.value, self.exc)
+        else:
+            self._waiters.append(process)
+
+    def fire(self, sim: "Simulator", value: Any = None) -> None:
+        """Mark the signal fired and wake every waiter."""
+        if self.fired:
+            raise RuntimeError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            sim.schedule(0, proc._resume, value, None)
+
+    def fail(self, sim: "Simulator", exc: BaseException) -> None:
+        """Mark the signal fired with an exception; waiters re-raise it."""
+        if self.fired:
+            raise RuntimeError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.exc = exc
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            sim.schedule(0, proc._resume, None, exc)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "fired" if self.fired else f"{len(self._waiters)} waiting"
+        return f"<Signal {self.name!r} {state}>"
+
+
+class AllOf(Waitable):
+    """Wait until *all* child signals have fired; value is the list of child
+    values in the order given."""
+
+    def __init__(self, children: Sequence[Signal]):
+        self.children = list(children)
+
+    def _block(self, sim: "Simulator", process: "Process") -> None:
+        remaining = [c for c in self.children if not c.fired]
+        state = {"count": len(remaining)}
+        if state["count"] == 0:
+            sim.schedule(0, process._resume, [c.value for c in self.children], None)
+            return
+
+        def on_child(value: Any, parent: "Process" = process) -> None:
+            state["count"] -= 1
+            if state["count"] == 0:
+                parent._resume([c.value for c in self.children], None)
+
+        for child in remaining:
+            child._waiters.append(_CallbackWaiter(on_child))
+
+
+class AnyOf(Waitable):
+    """Wait until *any* child signal fires; value is ``(index, value)`` of
+    the first child to fire.  Late children are ignored (their resume hits a
+    dead callback waiter)."""
+
+    def __init__(self, children: Sequence[Signal]):
+        self.children = list(children)
+
+    def _block(self, sim: "Simulator", process: "Process") -> None:
+        for i, child in enumerate(self.children):
+            if child.fired:
+                sim.schedule(0, process._resume, (i, child.value), None)
+                return
+        state = {"done": False}
+
+        def make_cb(index: int):
+            def on_child(value: Any, parent: "Process" = process) -> None:
+                if not state["done"]:
+                    state["done"] = True
+                    parent._resume((index, value), None)
+
+            return on_child
+
+        for i, child in enumerate(self.children):
+            child._waiters.append(_CallbackWaiter(make_cb(i)))
+
+
+class _CallbackWaiter:
+    """Adapter letting plain callbacks sit in a Signal's waiter list."""
+
+    __slots__ = ("_cb",)
+
+    def __init__(self, cb):
+        self._cb = cb
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if exc is not None:
+            raise exc
+        self._cb(value)

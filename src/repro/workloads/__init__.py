@@ -1,0 +1,12 @@
+"""Workloads: micro-benchmarks and NAS Parallel Benchmark proxies."""
+
+from repro.workloads.microbench import BWResult, bandwidth_program, latency_program
+from repro.workloads.nas import KERNEL_ORDER, KERNELS
+
+__all__ = [
+    "BWResult",
+    "KERNELS",
+    "KERNEL_ORDER",
+    "bandwidth_program",
+    "latency_program",
+]

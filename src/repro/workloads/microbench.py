@@ -1,0 +1,123 @@
+"""Micro-benchmarks: the paper's latency and bandwidth tests (§6.2).
+
+*Latency* — ping-pong with blocking MPI_Send/MPI_Recv; reported as average
+one-way time.
+
+*Bandwidth* — the sender pushes ``window`` back-to-back messages, the
+receiver replies with a 4-byte ack after all have arrived; repeated
+``repetitions`` times.  Blocking version uses MPI_Send/MPI_Recv; the
+non-blocking version uses MPI_Isend/MPI_Irecv + Waitall.  The window size
+relative to the pre-post depth is exactly the paper's flow-control stressor
+(Figures 3–8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.cluster.job import Program
+from repro.sim.units import mb_per_s
+
+
+@dataclass
+class BWResult:
+    """Per-rank result of a bandwidth run (rank 0 carries the numbers)."""
+
+    bytes_moved: int = 0
+    elapsed_ns: int = 0
+
+    @property
+    def mbps(self) -> float:
+        return mb_per_s(self.elapsed_ns, self.bytes_moved)
+
+
+def latency_program(size: int, iterations: int = 100, warmup: int = 10) -> Program:
+    """2-rank ping-pong; rank 0 returns average one-way latency (ns)."""
+
+    def prog(mpi) -> Generator:
+        peer = 1 - mpi.rank
+        bid = ("lat", mpi.rank)
+        total = iterations + warmup
+        t0 = None
+        for i in range(total):
+            if i == warmup:
+                t0 = mpi.now
+            if mpi.rank == 0:
+                yield from mpi.send(peer, size=size, tag=0, buffer_id=bid)
+                yield from mpi.recv(source=peer, capacity=size, tag=0, buffer_id=bid)
+            else:
+                yield from mpi.recv(source=peer, capacity=size, tag=0, buffer_id=bid)
+                yield from mpi.send(peer, size=size, tag=0, buffer_id=bid)
+        if mpi.rank == 0:
+            return (mpi.now - t0) / iterations / 2.0
+        return None
+
+    return prog
+
+
+def bandwidth_program(
+    size: int,
+    window: int,
+    repetitions: int = 10,
+    blocking: bool = True,
+    warmup: int = 2,
+) -> Program:
+    """2-rank windowed bandwidth test; rank 0 returns a :class:`BWResult`."""
+
+    def prog(mpi) -> Generator:
+        peer = 1 - mpi.rank
+        total = repetitions + warmup
+        t0 = None
+        if mpi.rank == 0:
+            for rep in range(total):
+                if rep == warmup:
+                    t0 = mpi.now
+                if blocking:
+                    for w in range(window):
+                        yield from mpi.send(
+                            peer, size=size, tag=1, buffer_id=("bw", w % 64)
+                        )
+                else:
+                    reqs = []
+                    for w in range(window):
+                        r = yield from mpi.isend(
+                            peer, size=size, tag=1, buffer_id=("bw", w % 64)
+                        )
+                        reqs.append(r)
+                    yield from mpi.waitall(reqs)
+                yield from mpi.recv(source=peer, capacity=16, tag=2)
+            return BWResult(
+                bytes_moved=size * window * repetitions,
+                elapsed_ns=mpi.now - t0,
+            )
+
+        # Receiver.  The non-blocking variant pre-posts the next window
+        # before releasing the sender with its reply (standard
+        # double-buffered bandwidth-benchmark structure — OSU et al.), so
+        # measurements exercise flow control, not receive-posting skew.
+        if blocking:
+            for rep in range(total):
+                for w in range(window):
+                    yield from mpi.recv(
+                        source=peer, capacity=size, tag=1, buffer_id=("bw", w % 64)
+                    )
+                yield from mpi.send(peer, size=4, tag=2)
+            return None
+        reqs = []
+        for w in range(window):
+            r = yield from mpi.irecv(source=peer, capacity=size, tag=1,
+                                     buffer_id=("bw", w % 64))
+            reqs.append(r)
+        for rep in range(total):
+            yield from mpi.waitall(reqs)
+            reqs = []
+            if rep < total - 1:
+                for w in range(window):
+                    r = yield from mpi.irecv(source=peer, capacity=size, tag=1,
+                                             buffer_id=("bw", w % 64))
+                    reqs.append(r)
+            yield from mpi.send(peer, size=4, tag=2)
+        return None
+
+    return prog

@@ -1,0 +1,47 @@
+"""NAS FT (3-D FFT) communication skeleton — Class A.
+
+Class A transforms a 256×256×128 complex grid for 6 iterations.  With a 1-D
+slab decomposition the only communication is one global transpose
+(``MPI_Alltoall``) per iteration: each rank ships its whole slab,
+256·256·128·16 B / P² per peer (2 MiB at P = 8), plus a tiny checksum
+``MPI_Allreduce`` (16 B complex sum).
+
+Scaling: none — 7 alltoalls (1 init + 6 iterations) are cheap to simulate.
+Large transfers ride the rendezvous protocol, whose handshake self-paces,
+so FT barely notices the pre-post depth (Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cluster.job import Program
+from repro.sim.units import ms
+from repro.workloads.nas.common import ComputeModel
+
+NX, NY, NZ = 256, 256, 128  # Class A
+COMPLEX_BYTES = 16
+ITERATIONS = 6
+
+
+def build(iterations: int = ITERATIONS, compute_scale: float = 1.0) -> Program:
+    compute = ComputeModel()
+
+    def prog(mpi) -> Generator:
+        P = mpi.world_size
+        block = NX * NY * NZ * COMPLEX_BYTES // (P * P)
+        # initial forward FFT + transpose
+        yield from mpi.compute(compute.ns(mpi.rank, ms(310) * compute_scale))
+        yield from mpi.alltoall(size_per_peer=block)
+        transposes = 1
+        for it in range(iterations):
+            # evolve + local FFTs
+            yield from mpi.compute(compute.ns(mpi.rank, ms(240) * compute_scale))
+            yield from mpi.alltoall(size_per_peer=block)
+            transposes += 1
+            # inverse FFT + checksum
+            yield from mpi.compute(compute.ns(mpi.rank, ms(120) * compute_scale))
+            yield from mpi.allreduce(size=COMPLEX_BYTES)
+        return transposes
+
+    return prog

@@ -1,0 +1,54 @@
+"""NAS IS (Integer Sort) communication skeleton — Class A.
+
+Class A sorts N = 2^23 keys over 10 iterations (plus one untimed warm-up).
+Per iteration the real kernel does:
+
+1. ``MPI_Allreduce`` of the per-bucket counts (1024 buckets × 4 B = 4 KiB),
+2. ``MPI_Alltoall`` of the send counts (one int per peer),
+3. ``MPI_Alltoallv`` of the keys themselves — ≈ N/P keys leave each rank,
+   split roughly evenly: (2^23 / 8) × 4 B / 8 ≈ 512 KiB per peer,
+4. local counting sort (the compute phase).
+
+Scaling: none needed — 11 iterations of collectives are cheap to simulate.
+The pattern is symmetric and rendezvous-dominated, which is why the paper
+finds IS almost insensitive to the pre-post depth (Figure 10, ≤ 2 %).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cluster.job import Program
+from repro.sim.units import ms
+from repro.workloads.nas.common import ComputeModel
+
+TOTAL_KEYS = 1 << 23  # Class A
+KEY_BYTES = 4
+BUCKETS = 1024
+ITERATIONS = 10
+
+
+def build(iterations: int = ITERATIONS, compute_scale: float = 1.0) -> Program:
+    compute = ComputeModel()
+
+    def prog(mpi) -> Generator:
+        P = mpi.world_size
+        keys_per_rank = TOTAL_KEYS // P
+        key_block = keys_per_rank * KEY_BYTES // P  # per-peer key slab
+        msgs = 0
+        for it in range(iterations + 1):  # +1 warm-up iteration
+            # local bucket counting
+            yield from mpi.compute(compute.ns(mpi.rank, ms(38) * compute_scale))
+            # bucket-size allreduce (4 KiB)
+            yield from mpi.allreduce(size=BUCKETS * KEY_BYTES)
+            # send-count alltoall (1 int per peer)
+            yield from mpi.alltoall(size_per_peer=KEY_BYTES)
+            # the big key redistribution
+            sizes = [key_block] * P
+            yield from mpi.alltoallv(sizes)
+            msgs += 2 * (P - 1) + 2
+            # local sort of received keys
+            yield from mpi.compute(compute.ns(mpi.rank, ms(22) * compute_scale))
+        return msgs
+
+    return prog

@@ -1,0 +1,107 @@
+"""NAS MG (Multigrid) communication skeleton — Class A.
+
+Class A: 256³ grid, 4 V-cycle iterations, 2×2×2 process decomposition at
+P = 8 (each rank holds 128³).  Communication is the ``comm3`` halo
+exchange: for each of the three axes, send both faces to the axis
+neighbour.  Face sizes start at 128²·8 B = 128 KiB on the finest level and
+shrink 4× per level down to a handful of bytes on the coarsest; several
+exchanges (smoother, residual, restriction, interpolation) happen per
+level per cycle.
+
+The coarse levels are the flow-control stressor: bursts of small eager
+messages hit receivers that are mid-relaxation (the application-bypass
+window), which is why the hardware scheme's pre-post = 1 performance
+collapses on MG (Figure 10) — the dynamic scheme grows to ~6 buffers
+(Table 2) and sails through.
+
+Scaling: iterations 4 → 4 (unscaled); levels 8 (256 → 2).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cluster.job import Program
+from repro.sim.units import ms, us
+from repro.workloads.nas.common import ComputeModel
+
+LEVELS = 8  # 256 down to 2
+ITERATIONS = 4
+
+
+def build(iterations: int = ITERATIONS, compute_scale: float = 1.0) -> Program:
+    compute = ComputeModel()
+
+    def prog(mpi) -> Generator:
+        P = mpi.world_size
+        # 3-D decomposition: axis partners by XOR on bit k (2 procs/axis at
+        # P = 8; fewer axes for smaller P).
+        axes = []
+        bit = 1
+        while bit < P:
+            axes.append(bit)
+            bit <<= 1
+        axes = axes[:3]
+
+        def comm3(level: int, tag: int) -> Generator:
+            """One halo exchange at ``level`` (finest = LEVELS).
+
+            Like the real ``comm3``, all *give* faces are posted before any
+            *take* completes: each partner therefore sees a burst of two
+            back-to-back messages per axis — the burstiness behind MG's
+            Table-2 footprint of ~6 buffers.
+            """
+            local = 256 >> (LEVELS - level)  # local edge = global/2 per axis
+            local = max(2, local // 2)
+            face = max(8, local * local * 8)
+            reqs = []
+            for ax, mask in enumerate(axes):
+                partner = mpi.rank ^ mask
+                for half in (0, 1):
+                    r = yield from mpi.irecv(source=partner, capacity=face,
+                                             tag=tag + ax + 8 * half,
+                                             buffer_id=("mg", ax, half))
+                    reqs.append(r)
+            for ax, mask in enumerate(axes):
+                partner = mpi.rank ^ mask
+                for half in (0, 1):
+                    s = yield from mpi.isend(partner, size=face,
+                                             tag=tag + ax + 8 * half,
+                                             buffer_id=("mg", ax, half))
+                    reqs.append(s)
+            yield from mpi.waitall(reqs)
+
+        exchanges = 0
+        for it in range(iterations):
+            # Downward leg: smooth + restrict (two exchanges per level,
+            # like the real resid/rprj3 pair).
+            for level in range(LEVELS, 1, -1):
+                vol = (256 >> (LEVELS - level)) ** 3 // P
+                yield from mpi.compute(
+                    compute.ns(mpi.rank, max(us(25), vol * 1.3) * compute_scale)
+                )
+                yield from comm3(level, tag=100)
+                yield from mpi.compute(
+                    compute.ns(mpi.rank, max(us(15), vol * 0.5) * compute_scale)
+                )
+                yield from comm3(level, tag=150)
+                exchanges += 2
+            # Coarsest-level solve: a flurry of tiny exchanges.
+            for rep in range(4):
+                yield from comm3(1, tag=200)
+                exchanges += 1
+                yield from mpi.compute(compute.ns(mpi.rank, us(20) * compute_scale))
+            # Upward leg: interpolate + smooth (two exchanges per level).
+            for level in range(2, LEVELS + 1):
+                vol = (256 >> (LEVELS - level)) ** 3 // P
+                yield from mpi.compute(
+                    compute.ns(mpi.rank, max(us(25), vol * 2.2) * compute_scale)
+                )
+                yield from comm3(level, tag=300)
+                yield from comm3(level, tag=400)
+                exchanges += 2
+            # residual norm
+            yield from mpi.allreduce(size=8)
+        return exchanges
+
+    return prog

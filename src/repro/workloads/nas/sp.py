@@ -1,0 +1,67 @@
+"""NAS SP (Scalar Pentadiagonal) communication skeleton — Class A, 16 ranks.
+
+Class A: 64³ grid, 400 timesteps, square process grid like BT (the paper
+runs 16 processes on 8 nodes).  SP's structure matches BT's — copy_faces
+plus three pipelined ADI sweeps per timestep — but with lighter per-stage
+computation and more timesteps, i.e. a higher message rate with smaller
+compute gaps.  Like BT, it settles around 7 posted buffers under the
+dynamic scheme (Table 2) and tolerates pre-post = 1 (Figure 10).
+
+Scaling: timesteps 400 → 18.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+from repro.cluster.job import Program
+from repro.sim.units import ms
+from repro.workloads.nas.common import ComputeModel, shift
+
+GRID = 64  # Class A
+TIMESTEPS = 18  # scaled from 400
+
+
+def build(timesteps: int = TIMESTEPS, compute_scale: float = 1.0) -> Program:
+    compute = ComputeModel()
+
+    def prog(mpi) -> Generator:
+        P = mpi.world_size
+        q = int(math.sqrt(P))
+        if q * q != P:
+            raise ValueError(f"SP needs a square rank count, got {P}")
+        row, col = divmod(mpi.rank, q)
+        cell = GRID // q
+        face = cell * cell * 5 * 8
+        solve_msg = cell * cell * 5 * 8 // 4
+
+        xpos = row * q + (col + 1) % q
+        xneg = row * q + (col - 1) % q
+        ypos = ((row + 1) % q) * q + col
+        yneg = ((row - 1) % q) * q + col
+
+        steps = 0
+        for step in range(timesteps):
+            for to, frm, tg in ((xpos, xneg, 1), (xneg, xpos, 2),
+                                (ypos, yneg, 3), (yneg, ypos, 4)):
+                if to != mpi.rank:
+                    yield from shift(mpi, to, frm, face, tag=tg,
+                                     buffer_id=("faces", tg))
+            yield from mpi.compute(compute.ns(mpi.rank, ms(18) * compute_scale))
+            for axis, (fwd, bwd) in enumerate(((xpos, xneg), (ypos, yneg),
+                                               (xpos, xneg))):
+                if fwd == mpi.rank:
+                    continue
+                for stage in range(q - 1):
+                    yield from shift(mpi, fwd, bwd, solve_msg, tag=10 + axis,
+                                     buffer_id=("solve", axis))
+                    yield from mpi.compute(compute.ns(mpi.rank, ms(1.4) * compute_scale))
+                    yield from shift(mpi, bwd, fwd, solve_msg, tag=20 + axis,
+                                     buffer_id=("solve", axis))
+            steps += 1
+            if step % 5 == 0:
+                yield from mpi.allreduce(size=40)
+        return steps
+
+    return prog

@@ -1,0 +1,40 @@
+"""Shared fixtures/builders for InfiniBand-layer tests."""
+
+from repro.ib import HCA, Fabric, IBConfig
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+
+def build_pair(config: IBConfig = None, nodes: int = 2):
+    """A fabric with ``nodes`` HCAs and a connected QP between LID 0 and 1.
+
+    Returns (sim, fabric, [hcas], qp0, qp1, cq0, cq1).
+    """
+    sim = Simulator()
+    cfg = config or IBConfig()
+    tracer = Tracer(enabled=False)
+    fabric = Fabric(sim, cfg, tracer)
+    hcas = [HCA(sim, fabric, lid) for lid in range(nodes)]
+    cq0 = hcas[0].create_cq("cq0")
+    cq1 = hcas[1].create_cq("cq1")
+    qp0 = hcas[0].create_qp(cq0)
+    qp1 = hcas[1].create_qp(cq1)
+    qp0.connect(1, qp1.qp_num)
+    qp1.connect(0, qp0.qp_num)
+    return sim, fabric, hcas, qp0, qp1, cq0, cq1
+
+
+def connect_mesh(sim, fabric, hcas):
+    """All-to-all QP mesh (one QP per ordered pair), one CQ per HCA.
+
+    Returns (cqs, qps) where qps[(i, j)] is the QP at i talking to j.
+    """
+    cqs = [h.create_cq(f"cq{h.lid}") for h in hcas]
+    qps = {}
+    for i, hi in enumerate(hcas):
+        for j, hj in enumerate(hcas):
+            if i != j:
+                qps[(i, j)] = hi.create_qp(cqs[i])
+    for (i, j), qp in qps.items():
+        qp.connect(j, qps[(j, i)].qp_num)
+    return cqs, qps

@@ -1,0 +1,14 @@
+"""Shared helpers for MPI-layer tests: tiny programs and runners."""
+
+from repro.cluster import TestbedConfig, run_job
+
+
+def run2(program, scheme="static", prepost=10, config=None, **kw):
+    """Run a 2-rank job on a 2-node cluster."""
+    cfg = config or TestbedConfig(nodes=2)
+    return run_job(program, 2, scheme, prepost, config=cfg, **kw)
+
+
+def runN(program, nranks, scheme="static", prepost=10, config=None, **kw):
+    cfg = config or TestbedConfig(nodes=min(nranks, 8))
+    return run_job(program, nranks, scheme, prepost, config=cfg, **kw)

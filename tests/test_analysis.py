@@ -1,0 +1,54 @@
+"""Tests for the analysis/report helpers used by the benchmark harness."""
+
+import pytest
+
+from repro.analysis import Figure, Series, Table, pct_change
+
+
+def test_series_add_and_lookup():
+    s = Series("curve")
+    s.add(1, 10.0)
+    s.add(2, 20.0)
+    assert s.y_at(1) == 10.0
+    assert s.ys == [10.0, 20.0]
+    with pytest.raises(KeyError):
+        s.y_at(99)
+
+
+def test_figure_collects_series_and_renders():
+    fig = Figure("T", xlabel="n", ylabel="v")
+    fig.add("a", 1, 1.0)
+    fig.add("a", 2, 2.0)
+    fig.add("b", 1, 3.0)
+    text = fig.render()
+    assert "T" in text
+    assert "a" in text and "b" in text
+    assert fig.series_named("a").y_at(2) == 2.0
+
+
+def test_figure_renders_missing_points_as_blank():
+    fig = Figure("T")
+    fig.add("a", 1, 1.0)
+    fig.add("b", 2, 2.0)
+    text = fig.render()
+    assert text.count("\n") >= 4  # header + separator + two x rows
+
+
+def test_table_roundtrip_and_validation():
+    t = Table("Tab", ["c1", "c2"])
+    t.add_row("r1", 1, 2.5)
+    t.add_row("r2", 3, 4.5)
+    assert t.value("r1", "c2") == 2.5
+    assert t.value("r2", "c1") == 3
+    with pytest.raises(KeyError):
+        t.value("nope", "c1")
+    with pytest.raises(ValueError):
+        t.add_row("bad", 1)
+    text = t.render()
+    assert "Tab" in text and "r1" in text and "c2" in text
+
+
+def test_pct_change():
+    assert pct_change(110, 100) == pytest.approx(10.0)
+    assert pct_change(90, 100) == pytest.approx(-10.0)
+    assert pct_change(5, 0) == 0.0

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_latency_command(capsys):
+    rc = main(["latency", "--sizes", "4", "1024", "--iterations", "10",
+               "--schemes", "static"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "MPI latency" in out
+    assert "static" in out
+    assert "1024" in out
+
+
+def test_bandwidth_command(capsys):
+    rc = main(["bandwidth", "--size", "4", "--windows", "1", "8",
+               "--repetitions", "3", "--schemes", "hardware", "dynamic",
+               "--prepost", "10"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bandwidth" in out
+    assert "hardware" in out and "dynamic" in out
+
+
+def test_bandwidth_blocking_flag(capsys):
+    rc = main(["bandwidth", "--size", "4", "--windows", "2",
+               "--repetitions", "2", "--schemes", "static", "--blocking"])
+    assert rc == 0
+    assert "blocking" in capsys.readouterr().out
+
+
+def test_nas_command(capsys):
+    rc = main(["nas", "--kernels", "is", "--schemes", "static", "-v"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "NAS proxy runtimes" in captured.out
+    assert "is" in captured.out
+    assert "ecm=" in captured.err  # verbose stats on stderr
+
+
+def test_scaling_command(capsys):
+    rc = main(["scaling", "--nodes", "16", "--iterations", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "on-demand" in out
+    assert "full mesh" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["teleport"])
+
+
+def test_parser_help_lists_commands():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for cmd in ("latency", "bandwidth", "nas", "scaling"):
+        assert cmd in help_text

@@ -1,0 +1,122 @@
+"""Tests for MPI derived datatypes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi.datatypes import (
+    BYTE,
+    DOUBLE,
+    Datatype,
+    DatatypeError,
+    INT,
+    pack_cost_ns,
+    typed_size,
+)
+
+
+def test_predefined_scalars():
+    assert BYTE.size == 1 and BYTE.contiguous
+    assert INT.size == 4
+    assert DOUBLE.size == DOUBLE.extent == 8
+
+
+def test_contiguous_constructor():
+    row = Datatype.contiguous_of(100, DOUBLE)
+    assert row.size == 800
+    assert row.extent == 800
+    assert row.contiguous
+
+
+def test_vector_strided_column():
+    # a column of a 100x100 double matrix: 100 blocks of 1, stride 100
+    col = Datatype.vector_of(100, 1, 100, DOUBLE)
+    assert col.size == 800
+    assert col.extent == (99 * 100 + 1) * 8
+    assert not col.contiguous
+
+
+def test_vector_degenerate_is_contiguous():
+    v = Datatype.vector_of(10, 4, 4, DOUBLE)  # stride == blocklength
+    assert v.contiguous
+    assert v.size == v.extent == 10 * 4 * 8
+
+
+def test_vector_overlap_rejected():
+    with pytest.raises(DatatypeError):
+        Datatype.vector_of(3, 4, 2, DOUBLE)
+
+
+def test_indexed_blocks():
+    t = Datatype.indexed_of([(2, 0), (3, 10)], INT)
+    assert t.size == 5 * 4
+    assert t.extent == 13 * 4
+    assert not t.contiguous
+
+
+def test_indexed_adjacent_blocks_contiguous():
+    t = Datatype.indexed_of([(2, 0), (3, 2)], INT)
+    assert t.contiguous
+    assert t.size == t.extent == 20
+
+
+def test_indexed_overlap_rejected():
+    with pytest.raises(DatatypeError):
+        Datatype.indexed_of([(4, 0), (2, 2)], INT)
+
+
+def test_indexed_empty():
+    t = Datatype.indexed_of([], INT)
+    assert t.size == 0 and t.contiguous
+
+
+def test_typed_size_and_pack_cost():
+    col = Datatype.vector_of(64, 1, 64, DOUBLE)
+    assert typed_size(10, col) == 10 * 64 * 8
+    assert pack_cost_ns(10, col, memcpy_bytes_per_ns=2.0) == 2560
+    row = Datatype.contiguous_of(64, DOUBLE)
+    assert pack_cost_ns(10, row, memcpy_bytes_per_ns=2.0) == 0
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(DatatypeError):
+        typed_size(-1, INT)
+    with pytest.raises(DatatypeError):
+        Datatype.contiguous_of(-1, INT)
+
+
+def test_nested_composition():
+    face = Datatype.vector_of(16, 5, 64, DOUBLE)  # boundary plane layout
+    volume = Datatype.contiguous_of(64, face)
+    assert volume.size == 64 * face.size
+    assert not volume.contiguous
+
+
+@given(count=st.integers(0, 1000), bl=st.integers(0, 16),
+       extra=st.integers(0, 64))
+def test_vector_size_extent_invariants(count, bl, extra):
+    stride = bl + extra  # never overlapping
+    t = Datatype.vector_of(count, bl, stride, DOUBLE)
+    assert t.size == count * bl * 8
+    assert t.extent >= t.size
+    if count and bl:
+        assert t.contiguous == (extra == 0 or count == 1)
+
+
+def test_workload_usage_with_endpoint():
+    """Datatypes plug into the size-based API naturally."""
+    from tests.mpi_helpers import run2
+
+    column = Datatype.vector_of(128, 1, 128, DOUBLE)
+
+    def prog(mpi):
+        nbytes = typed_size(4, column)
+        pack = pack_cost_ns(4, column, mpi.config.memcpy_bytes_per_ns)
+        if mpi.rank == 0:
+            yield from mpi.compute(pack)  # gather the strided columns
+            yield from mpi.send(1, size=nbytes, payload="cols")
+        else:
+            st_ = yield from mpi.recv(source=0, capacity=nbytes)
+            yield from mpi.compute(pack)  # scatter into place
+            assert st_.size == 4 * 128 * 8
+
+    run2(prog)

@@ -1,0 +1,266 @@
+"""Behavioural tests of the three flow-control schemes — the paper's core
+claims at unit scale."""
+
+import pytest
+
+from repro.cluster import TestbedConfig, run_job
+from repro.core import DynamicScheme, StaticScheme, make_scheme
+from tests.mpi_helpers import run2, runN
+
+
+def flood(n, size=4):
+    """Rank 0 floods rank 1 with ``n`` sends; rank 1 receives them all.
+    Completely asymmetric — the ECM-generating pattern."""
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            reqs = []
+            for i in range(n):
+                r = yield from mpi.isend(1, size=size, tag=0, payload=i)
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+        else:
+            got = []
+            for _ in range(n):
+                st = yield from mpi.recv(source=0, capacity=size + 64, tag=0)
+                got.append(st.payload)
+            assert got == list(range(n))
+
+    return prog
+
+
+# ----------------------------------------------------------------------
+# static scheme
+# ----------------------------------------------------------------------
+def test_static_flood_within_credits_never_backlogs():
+    r = run2(flood(10), scheme="static", prepost=20)
+    assert r.fc.backlogged_msgs == 0
+    assert r.fc.rnr_naks == 0
+
+
+def test_static_flood_beyond_credits_backlogs_and_completes():
+    r = run2(flood(100), scheme="static", prepost=10)
+    assert r.fc.backlogged_msgs > 0
+    assert r.fc.ecm_msgs > 0  # asymmetric: credits must return explicitly
+
+
+def test_static_paid_messages_never_rnr():
+    """The user-level credit gate must keep paid traffic inside the posted
+    buffer budget — RNR NAKs can only come from optimistic messages."""
+    r = run2(flood(200), scheme="static", prepost=5)
+    ecm_and_ctl = r.fc.total_msgs - r.fc.data_msgs
+    assert r.fc.rnr_naks <= ecm_and_ctl  # only unpaid traffic may NAK
+
+
+def test_static_ecm_threshold_respected():
+    """With threshold t, roughly n/t ECMs for an n-message flood."""
+    t = 5
+    n = 100
+    r = run2(flood(n), scheme=StaticScheme(ecm_threshold=t), prepost=10)
+    assert 0 < r.fc.ecm_msgs <= n // t + 8
+
+
+def test_static_higher_threshold_fewer_ecms():
+    r_small = run2(flood(200), scheme=StaticScheme(ecm_threshold=3), prepost=10)
+    r_big = run2(flood(200), scheme=StaticScheme(ecm_threshold=9), prepost=10)
+    assert r_big.fc.ecm_msgs < r_small.fc.ecm_msgs
+
+
+def test_static_symmetric_pattern_needs_no_ecm():
+    """Ping-pong returns credits by piggybacking alone (paper §6.2.1)."""
+
+    def pingpong(mpi):
+        peer = 1 - mpi.rank
+        for i in range(50):
+            if mpi.rank == 0:
+                yield from mpi.send(peer, size=4, tag=1)
+                yield from mpi.recv(source=peer, capacity=64, tag=1)
+            else:
+                yield from mpi.recv(source=peer, capacity=64, tag=1)
+                yield from mpi.send(peer, size=4, tag=1)
+
+    r = run2(pingpong, scheme="static", prepost=10)
+    assert r.fc.ecm_msgs == 0
+    assert r.fc.backlogged_msgs == 0
+
+
+def test_static_invalid_threshold_rejected():
+    with pytest.raises(ValueError):
+        StaticScheme(ecm_threshold=0)
+
+
+# ----------------------------------------------------------------------
+# dynamic scheme
+# ----------------------------------------------------------------------
+def test_dynamic_grows_prepost_under_pressure():
+    r = run2(flood(200), scheme="dynamic", prepost=1)
+    conn01 = r.endpoints[1].connections[0]
+    assert conn01.stats.max_prepost > 1  # receiver grew for the flooder
+
+
+def test_dynamic_growth_is_bounded():
+    r = run2(flood(500), scheme=DynamicScheme(max_prepost=16), prepost=1)
+    assert r.fc.max_posted_buffers <= 16
+
+
+def test_dynamic_no_growth_without_pressure():
+    r = run2(flood(5), scheme="dynamic", prepost=10)
+    assert r.fc.max_posted_buffers == 10  # nothing ever backlogged
+
+
+def test_dynamic_exponential_grows_faster_than_linear():
+    lin = run2(flood(300), scheme=DynamicScheme(growth_step=1), prepost=1)
+    exp = run2(flood(300), scheme=DynamicScheme(exponential=True), prepost=1)
+    assert exp.fc.backlogged_msgs <= lin.fc.backlogged_msgs
+
+
+def test_dynamic_outperforms_static_when_starved():
+    """The headline claim: with too few buffers, dynamic adapts and beats
+    static (Figures 5–6)."""
+    n = 300
+    stat = run2(flood(n), scheme="static", prepost=4)
+    dyn = run2(flood(n), scheme="dynamic", prepost=4)
+    assert dyn.elapsed_ns < stat.elapsed_ns
+
+
+def test_dynamic_matches_static_when_buffers_plentiful():
+    n = 100
+    stat = run2(flood(n), scheme="static", prepost=150)
+    dyn = run2(flood(n), scheme="dynamic", prepost=150)
+    assert abs(dyn.elapsed_ns - stat.elapsed_ns) < 0.05 * stat.elapsed_ns
+
+
+def test_dynamic_decay_extension_shrinks_after_quiet_period():
+    scheme = DynamicScheme(growth_step=4, decay_enabled=True, decay_idle_messages=50)
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            # Phase 1: burst (drives growth).
+            reqs = []
+            for i in range(120):
+                r = yield from mpi.isend(1, size=4, tag=0, payload=i)
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+            # Phase 2: long quiet trickle (drives decay).
+            for i in range(200):
+                yield from mpi.send(1, size=4, tag=1)
+                yield from mpi.recv(source=1, capacity=64, tag=1)
+        else:
+            for i in range(120):
+                yield from mpi.recv(source=0, capacity=64, tag=0)
+            for i in range(200):
+                yield from mpi.recv(source=0, capacity=64, tag=1)
+                yield from mpi.send(0, size=4, tag=1)
+
+    r = run2(prog, scheme=scheme, prepost=1)
+    conn = r.endpoints[1].connections[0]
+    assert conn.stats.max_prepost > 1  # grew during the burst
+    assert conn.prepost_target < conn.stats.max_prepost  # shrank after
+
+
+def test_dynamic_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        DynamicScheme(growth_step=0)
+    with pytest.raises(ValueError):
+        DynamicScheme(max_prepost=0)
+
+
+# ----------------------------------------------------------------------
+# hardware scheme
+# ----------------------------------------------------------------------
+def test_hardware_no_mpi_level_machinery():
+    r = run2(flood(100), scheme="hardware", prepost=10)
+    assert r.fc.ecm_msgs == 0
+    assert r.fc.backlogged_msgs == 0
+
+
+def busy_receiver_flood(n, compute_ns=8_000, size=4):
+    """Like flood(), but the receiver computes between receives — the
+    application-bypass window during which no vbuf can be re-posted.  This
+    is what starves receivers in the NAS LU/MG patterns."""
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            reqs = []
+            for i in range(n):
+                r = yield from mpi.isend(1, size=size, tag=0, payload=i)
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+        else:
+            got = []
+            for _ in range(n):
+                st = yield from mpi.recv(source=0, capacity=size + 64, tag=0)
+                got.append(st.payload)
+                yield from mpi.compute(compute_ns)
+            assert got == list(range(n))
+
+    return prog
+
+
+def test_hardware_starved_receiver_causes_rnr_retries():
+    r = run2(busy_receiver_flood(100), scheme="hardware", prepost=1)
+    assert r.fc.rnr_naks > 0
+    assert r.fc.retransmissions > 0
+
+
+def test_hardware_plentiful_buffers_no_rnr():
+    r = run2(flood(50), scheme="hardware", prepost=100)
+    assert r.fc.rnr_naks == 0
+
+
+def test_hardware_degrades_with_rnr_timer():
+    """The pre-post=1 collapse scales with the RNR retry timer."""
+    from repro.sim.units import us
+
+    def with_timer(t_us):
+        cfg = TestbedConfig(nodes=2)
+        cfg.ib.rnr_timer_ns = us(t_us)
+        return run_job(busy_receiver_flood(100), 2, "hardware", prepost=1, config=cfg)
+
+    fast = with_timer(10)
+    slow = with_timer(200)
+    assert slow.elapsed_ns > fast.elapsed_ns
+
+
+def test_hardware_takes_no_options():
+    with pytest.raises(TypeError):
+        make_scheme("hardware", ecm_threshold=5)
+
+
+# ----------------------------------------------------------------------
+# cross-scheme sanity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", ["hardware", "static", "dynamic"])
+def test_head_to_head_flood_prepost1_no_deadlock(scheme):
+    """Both ranks flood each other simultaneously with one buffer each —
+    the classic credit-deadlock scenario the optimistic design defuses."""
+
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        sreqs = []
+        for i in range(50):
+            r = yield from mpi.isend(peer, size=4, tag=0, payload=i)
+            sreqs.append(r)
+        got = []
+        for _ in range(50):
+            st = yield from mpi.recv(source=peer, capacity=64, tag=0)
+            got.append(st.payload)
+        yield from mpi.waitall(sreqs)
+        assert got == list(range(50))
+
+    run2(prog, scheme=scheme, prepost=1)
+
+
+@pytest.mark.parametrize("scheme", ["hardware", "static", "dynamic"])
+def test_all_schemes_identical_results_8_ranks(scheme):
+    def prog(mpi):
+        total = yield from mpi.allreduce(size=8, value=mpi.rank, op=lambda a, b: a + b)
+        return total
+
+    r = runN(prog, 8, scheme=scheme, prepost=10)
+    assert r.rank_results == [28] * 8
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        make_scheme("quantum")

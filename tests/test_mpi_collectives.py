@@ -1,0 +1,173 @@
+"""Collective-operation correctness across world sizes and schemes."""
+
+import pytest
+
+from tests.mpi_helpers import runN
+
+
+SIZES = [2, 3, 4, 7, 8]
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_barrier_synchronises(nranks):
+    """No rank may leave the barrier before the slowest rank enters it."""
+
+    def prog(mpi):
+        enter_delay = 10_000 * (mpi.rank + 1)
+        yield from mpi.compute(enter_delay)
+        entered = mpi.now
+        yield from mpi.barrier()
+        left = mpi.now
+        return (entered, left)
+
+    r = runN(prog, nranks)
+    latest_entry = max(e for e, _ in r.rank_results)
+    for _, left in r.rank_results:
+        assert left >= latest_entry
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_bcast_delivers_root_value(nranks):
+    def prog(mpi):
+        value = "root-data" if mpi.rank == 1 % nranks else None
+        got = yield from mpi.bcast(root=1 % nranks, size=64, payload=value)
+        return got
+
+    r = runN(prog, nranks)
+    assert all(v == "root-data" for v in r.rank_results)
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_reduce_sums_at_root(nranks):
+    def prog(mpi):
+        total = yield from mpi.reduce(root=0, size=8, value=mpi.rank + 1,
+                                      op=lambda a, b: a + b)
+        return total
+
+    r = runN(prog, nranks)
+    expected = nranks * (nranks + 1) // 2
+    assert r.rank_results[0] == expected
+    assert all(v is None for v in r.rank_results[1:])
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_allreduce_sums_everywhere(nranks):
+    def prog(mpi):
+        total = yield from mpi.allreduce(size=8, value=mpi.rank + 1,
+                                         op=lambda a, b: a + b)
+        return total
+
+    r = runN(prog, nranks)
+    expected = nranks * (nranks + 1) // 2
+    assert r.rank_results == [expected] * nranks
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_allgather_collects_all(nranks):
+    def prog(mpi):
+        result = yield from mpi.allgather(size=16, value=f"v{mpi.rank}")
+        return result
+
+    r = runN(prog, nranks)
+    expected = [f"v{i}" for i in range(nranks)]
+    assert all(res == expected for res in r.rank_results)
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_alltoall_permutes_blocks(nranks):
+    def prog(mpi):
+        outgoing = [f"{mpi.rank}->{d}" for d in range(nranks)]
+        result = yield from mpi.alltoall(size_per_peer=32, payloads=outgoing)
+        return result
+
+    r = runN(prog, nranks)
+    for rank, result in enumerate(r.rank_results):
+        assert result == [f"{src}->{rank}" for src in range(nranks)]
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 8])
+def test_alltoallv_variable_sizes(nranks):
+    def prog(mpi):
+        sizes = [(mpi.rank + d + 1) * 100 for d in range(nranks)]
+        outgoing = [(mpi.rank, d) for d in range(nranks)]
+        result = yield from mpi.alltoallv(sizes, payloads=outgoing)
+        return result
+
+    r = runN(prog, nranks)
+    for rank, result in enumerate(r.rank_results):
+        assert result == [(src, rank) for src in range(nranks)]
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_gather_at_root(nranks):
+    def prog(mpi):
+        result = yield from mpi.gather(root=0, size=8, value=mpi.rank * 10)
+        return result
+
+    r = runN(prog, nranks)
+    assert r.rank_results[0] == [i * 10 for i in range(nranks)]
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_scatter_from_root(nranks):
+    def prog(mpi):
+        values = [f"piece{i}" for i in range(nranks)] if mpi.rank == 0 else None
+        piece = yield from mpi.scatter(root=0, size=8, values=values)
+        return piece
+
+    r = runN(prog, nranks)
+    assert r.rank_results == [f"piece{i}" for i in range(nranks)]
+
+
+def test_single_rank_collectives_are_noops():
+    def prog(mpi):
+        yield from mpi.barrier()
+        b = yield from mpi.bcast(root=0, size=8, payload="x")
+        a = yield from mpi.allreduce(size=8, value=3, op=lambda x, y: x + y)
+        g = yield from mpi.allgather(size=8, value="me")
+        return (b, a, g)
+
+    r = runN(prog, 1)
+    assert r.rank_results[0] == ("x", 3, ["me"])
+
+
+@pytest.mark.parametrize("scheme", ["hardware", "static", "dynamic"])
+def test_collectives_work_under_every_scheme_with_tiny_prepost(scheme):
+    """Back-to-back collectives with prepost=1 must not deadlock under any
+    flow-control scheme (the optimistic ECM design guarantees progress)."""
+
+    def prog(mpi):
+        for _ in range(3):
+            yield from mpi.barrier()
+            total = yield from mpi.allreduce(size=8, value=1, op=lambda a, b: a + b)
+            assert total == mpi.world_size
+        result = yield from mpi.alltoall(size_per_peer=2048,
+                                         payloads=[mpi.rank] * mpi.world_size)
+        return sum(result)
+
+    r = runN(prog, 8, scheme=scheme, prepost=1)
+    assert all(v == sum(range(8)) for v in r.rank_results)
+
+
+def test_large_alltoall_uses_rendezvous():
+    def prog(mpi):
+        result = yield from mpi.alltoall(size_per_peer=1 << 18)
+        yield from mpi.barrier()
+        return len(result)
+
+    r = runN(prog, 4)
+    assert r.fc.data_msgs >= 4 * 3  # one rendezvous per pair
+
+
+def test_consecutive_collectives_do_not_crosstalk():
+    def prog(mpi):
+        first = yield from mpi.allreduce(size=8, value=1, op=lambda a, b: a + b)
+        second = yield from mpi.allreduce(size=8, value=2, op=lambda a, b: a + b)
+        third = yield from mpi.allgather(size=8, value=mpi.rank)
+        return (first, second, third)
+
+    r = runN(prog, 4)
+    for first, second, third in r.rank_results:
+        assert first == 4
+        assert second == 8
+        assert third == [0, 1, 2, 3]

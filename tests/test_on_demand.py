@@ -1,0 +1,120 @@
+"""Tests for on-demand connection management (the paper's scalability
+combination: dynamic flow control + lazy connection setup)."""
+
+import pytest
+
+from repro.cluster import Cluster, TestbedConfig, run_job
+from repro.core import DynamicScheme
+
+
+def ring_program(mpi):
+    """Each rank talks only to its ring neighbours."""
+    nxt = (mpi.rank + 1) % mpi.world_size
+    prv = (mpi.rank - 1) % mpi.world_size
+    for i in range(5):
+        rreq = yield from mpi.irecv(source=prv, capacity=64, tag=i)
+        yield from mpi.send(nxt, size=4, tag=i, payload=(mpi.rank, i))
+        st = yield from mpi.wait(rreq)
+        assert st.payload == (prv, i)
+    return "ok"
+
+
+def test_on_demand_ring_establishes_only_used_pairs():
+    r = run_job(ring_program, 8, "static", prepost=10, on_demand=True,
+                finalize=False)
+    assert r.rank_results == ["ok"] * 8
+    # ring: 8 unordered neighbour pairs (the finalize barrier is off, so
+    # only application traffic wires connections)
+    assert r.connections_established == 8
+
+
+def test_static_mesh_reports_no_cm():
+    r = run_job(ring_program, 8, "static", prepost=10)
+    assert r.connections_established is None
+
+
+def test_on_demand_saves_posted_buffers():
+    """The memory argument: ring on 8 ranks with pre-post 50 posts vastly
+    fewer buffers on-demand than with the full mesh."""
+    mesh = run_job(ring_program, 8, "static", prepost=50, finalize=False)
+    lazy = run_job(ring_program, 8, "static", prepost=50, on_demand=True,
+                   finalize=False)
+
+    def posted(result):
+        return sum(
+            c.recv_posted for ep in result.endpoints for c in ep.connections.values()
+        )
+
+    assert posted(mesh) > 3 * posted(lazy)
+    # mesh: 8*7 connections; lazy ring: 16 directed connections
+    assert sum(len(ep.connections) for ep in mesh.endpoints) == 56
+    assert sum(len(ep.connections) for ep in lazy.endpoints) == 16
+
+
+def test_on_demand_first_send_pays_setup_latency():
+    def prog(mpi):
+        if mpi.rank == 0:
+            t0 = mpi.now
+            yield from mpi.send(1, size=4, tag=0)
+            first = mpi.now - t0
+            t0 = mpi.now
+            yield from mpi.send(1, size=4, tag=1)
+            second = mpi.now - t0
+            return (first, second)
+        yield from mpi.recv(source=0, capacity=64, tag=0)
+        yield from mpi.recv(source=0, capacity=64, tag=1)
+        return None
+
+    r = run_job(prog, 2, "static", prepost=10, on_demand=True,
+                config=TestbedConfig(nodes=2))
+    first, second = r.rank_results[0]
+    assert first > second + 200_000  # the CM exchange (~250 us) paid once
+
+
+def test_on_demand_concurrent_requests_deduplicated():
+    """Both sides sending simultaneously must produce exactly one pair of
+    QPs (the classic CM race)."""
+
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        rreq = yield from mpi.irecv(source=peer, capacity=64, tag=0)
+        sreq = yield from mpi.isend(peer, size=4, tag=0, payload=mpi.rank)
+        statuses = yield from mpi.waitall([rreq, sreq])
+        assert statuses[0].payload == peer
+
+    r = run_job(prog, 2, "static", prepost=10, on_demand=True,
+                config=TestbedConfig(nodes=2))
+    assert r.connections_established == 1
+
+
+def test_on_demand_with_dynamic_scheme_and_collectives():
+    """The paper's proposed combination survives an all-ranks workload:
+    collectives force (at most) the algorithmic connection graph."""
+
+    def prog(mpi):
+        total = yield from mpi.allreduce(size=8, value=mpi.rank, op=lambda a, b: a + b)
+        assert total == sum(range(mpi.world_size))
+        yield from mpi.barrier()
+        return total
+
+    r = run_job(prog, 8, DynamicScheme(), prepost=1, on_demand=True)
+    assert r.rank_results == [28] * 8
+    # recursive doubling + dissemination barrier touch fewer pairs than
+    # the full mesh of 28
+    assert r.connections_established < 28
+
+
+def test_unused_peer_never_connected():
+    def prog(mpi):
+        if mpi.rank in (0, 1):
+            if mpi.rank == 0:
+                yield from mpi.send(1, size=4)
+            else:
+                yield from mpi.recv(source=0, capacity=64)
+        else:
+            yield from mpi.compute(1000)
+
+    r = run_job(prog, 4, "static", prepost=10, on_demand=True, finalize=False)
+    assert r.connections_established == 1
+    assert len(r.endpoints[2].connections) == 0
+    assert len(r.endpoints[3].connections) == 0

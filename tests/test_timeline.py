@@ -1,0 +1,53 @@
+"""Tests for the run-forensics helpers (repro.analysis.timeline)."""
+
+from repro.analysis.timeline import (
+    fabric_utilisation,
+    flow_control_timeline,
+    rank_activity,
+)
+from repro.cluster import TestbedConfig, run_job
+
+
+def traced_flood():
+    def prog(mpi):
+        if mpi.rank == 0:
+            reqs = []
+            for i in range(30):
+                r = yield from mpi.isend(1, size=100, payload=i)
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+        else:
+            for i in range(30):
+                yield from mpi.recv(source=0, capacity=256)
+                yield from mpi.compute(5_000)
+
+    return run_job(prog, 2, "static", prepost=4,
+                   config=TestbedConfig(nodes=2), trace=True)
+
+
+def test_fabric_utilisation_counts_pairs():
+    r = traced_flood()
+    util = fabric_utilisation(r)
+    assert (0, 1) in util
+    assert util[(0, 1)].messages >= 30
+    assert util[(0, 1)].payload_bytes >= 30 * 100
+
+
+def test_rank_activity_table():
+    r = traced_flood()
+    table = rank_activity(r)
+    assert table.value("rank0", "sent_bytes") >= 3000
+    assert table.value("rank1", "recvd_bytes") >= 3000
+    assert 0.0 <= table.value("rank1", "wait_share_%") <= 100.0
+    assert "rank0" in table.render()
+
+
+def test_flow_control_timeline_orders_by_stall():
+    r = traced_flood()
+    table = flow_control_timeline(r, top=4)
+    stalls = [row[1][0] for row in table.rows]
+    assert stalls == sorted(stalls, reverse=True)
+    # the flooded connection tops the list with real backlog traffic
+    top_name, top_vals = table.rows[0]
+    assert top_name == "0->1"
+    assert table.value("0->1", "backlogged") > 0

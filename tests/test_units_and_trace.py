@@ -1,0 +1,104 @@
+"""Tests for the units helpers and the tracer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.trace import Counter, Gauge, Tracer
+from repro.sim.units import (
+    gbps_to_bytes_per_ns,
+    mb_per_s,
+    ms,
+    seconds,
+    to_us,
+    transfer_ns,
+    us,
+)
+
+
+# ----------------------------------------------------------------------
+# units
+# ----------------------------------------------------------------------
+def test_us_ms_conversions():
+    assert us(1) == 1_000
+    assert us(7.5) == 7_500
+    assert ms(1) == 1_000_000
+    assert ms(0.5) == 500_000
+
+
+def test_seconds_and_to_us():
+    assert seconds(1_500_000_000) == 1.5
+    assert to_us(7_420) == 7.42
+
+
+def test_mb_per_s():
+    # 1 MB in 1 ms → 1000 MB/s
+    assert mb_per_s(1_000_000, 1_000_000) == pytest.approx(1000.0)
+    assert mb_per_s(0, 100) == 0.0
+
+
+def test_transfer_ns_minimum_one():
+    assert transfer_ns(1, 1000.0) == 1
+    assert transfer_ns(0, 1.0) == 0
+    assert transfer_ns(1000, 1.0) == 1000
+
+
+def test_ib_4x_is_one_byte_per_ns():
+    # 10 Gbit/s signalling, 8b/10b → 8 Gbit/s = 1 byte/ns
+    assert gbps_to_bytes_per_ns(10.0) == pytest.approx(1.0)
+
+
+@given(nbytes=st.integers(0, 1 << 30), rate=st.floats(0.01, 100))
+def test_transfer_ns_nonnegative_and_monotone(nbytes, rate):
+    t = transfer_ns(nbytes, rate)
+    assert t >= 0
+    assert transfer_ns(nbytes + 1024, rate) >= t
+
+
+# ----------------------------------------------------------------------
+# tracer
+# ----------------------------------------------------------------------
+def test_counter_keys_and_totals():
+    c = Counter("x")
+    c.add(("a", "b"), 3)
+    c.add(("a", "b"))
+    c.add(("c", "d"), 10)
+    assert c.get(("a", "b")) == 4
+    assert c.total() == 14
+    assert c.max() == 10
+    assert dict(c.items()) == {("a", "b"): 4, ("c", "d"): 10}
+
+
+def test_gauge_peak_tracking():
+    g = Gauge("depth")
+    g.set("k", 5)
+    g.adjust("k", -2)
+    g.adjust("k", 10)
+    g.adjust("k", -8)
+    assert g.get("k") == 5
+    assert g.peak("k") == 13
+    assert g.peak() == 13
+
+
+def test_tracer_records_only_when_enabled():
+    t = Tracer(enabled=False)
+    t.record(10, "ev", 1)
+    assert t.records == []
+    t2 = Tracer(enabled=True)
+    t2.record(10, "ev", 1)
+    t2.record(20, "other", 2)
+    assert len(t2.records) == 2
+    assert t2.records_of("ev") == [(10, "ev", (1,))]
+
+
+def test_tracer_counters_always_work():
+    t = Tracer(enabled=False)
+    t.count("ib.rnr_nak", (0, 1))
+    t.count("ib.rnr_nak", (0, 1))
+    t.count("fc.ecm", None, 5)
+    assert t.summary() == {"fc.ecm": 5, "ib.rnr_nak": 2}
+
+
+def test_tracer_counter_identity_cached():
+    t = Tracer()
+    assert t.counter("a") is t.counter("a")
+    assert t.gauge("g") is t.gauge("g")

@@ -1,0 +1,5 @@
+"""Simulator-throughput regression harness (see README.md here).
+
+The measurement logic lives in :mod:`repro.perf` so the CLI can reach it;
+this package holds the standalone runner and the harness documentation.
+"""

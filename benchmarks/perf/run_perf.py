@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Standalone entry point for the kernel-throughput harness.
+
+Equivalent to ``python -m repro perf`` but runnable straight from a
+checkout without installing the package::
+
+    python benchmarks/perf/run_perf.py --repeats 3 --out BENCH_perf.json
+    python benchmarks/perf/run_perf.py --check BENCH_perf.json
+
+See benchmarks/perf/README.md for what is measured and why.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+if os.path.isdir(_SRC):
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["perf"] + sys.argv[1:]))

@@ -65,6 +65,9 @@ def collect_report(endpoints: Iterable["Endpoint"]) -> FlowControlReport:
         backlogged_msgs=backlogged,
         rndv_fallbacks=fallbacks,
         max_posted_buffers=max_posted,
+        # Guard the empty-endpoints / zero-connection case: a job that
+        # never opened a connection (single rank, or on-demand mode with no
+        # traffic) must report 0.0, not divide by zero.
         avg_ecm_per_connection=(ecm / conn_count) if conn_count else 0.0,
         piggybacked_credits=piggy,
         ecm_credits=ecmc,

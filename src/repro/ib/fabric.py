@@ -20,10 +20,12 @@ loopback path: no switch hop, bandwidth limited by the host bus.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Dict, Optional
 
 from repro.ib.types import IBConfig
 from repro.sim import Simulator
+from repro.sim.engine import ScheduledEvent
 from repro.sim.trace import Tracer
 from repro.sim.units import transfer_ns
 
@@ -43,6 +45,14 @@ class Fabric:
         self._up_busy: Dict[int, int] = {}
         self._down_busy: Dict[int, int] = {}
         self._lids: Dict[int, Any] = {}  # lid -> HCA (deliver target)
+        self._deliver_cb: Dict[int, Callable] = {}  # lid -> HCA._deliver, prebound
+        # Per-size timing caches.  A fabric is built per job from a frozen
+        # view of the config (nothing mutates IBConfig once traffic flows),
+        # and real workloads reuse a handful of message sizes thousands of
+        # times, so (wire bytes, serialisation ns) become one dict hit.
+        self._ser_cache: Dict[int, tuple] = {}  # payload -> (wire, ser)
+        self._lo_cache: Dict[int, int] = {}  # payload -> loopback ser
+        self._ctrl_remote_ns: Optional[int] = None
         # observability
         self.messages_sent = 0
         self.payload_bytes = 0
@@ -58,6 +68,7 @@ class Fabric:
         if lid in self._lids:
             raise FabricError(f"LID {lid} already attached")
         self._lids[lid] = hca
+        self._deliver_cb[lid] = hca._deliver
         self._up_busy[lid] = 0
         self._down_busy[lid] = 0
 
@@ -70,6 +81,28 @@ class Fabric:
     # ------------------------------------------------------------------
     # data path
     # ------------------------------------------------------------------
+    def _schedule_delivery(self, at: int, callback: Callable, arg: Any) -> None:
+        """``sim.call_at(at, callback, arg)`` open-coded against the kernel
+        internals — every packet and every control message passes through
+        here, and the call frame + ``*args`` packing were measurable.
+        ``at`` is already integral and ``>= now`` by construction."""
+        sim = self.sim
+        seq = sim._seq = sim._seq + 1
+        if at == sim.now:
+            sim._now_q.append((seq, callback, (arg,)))
+            return
+        free = sim._free
+        if free:
+            ev = free.pop()
+            ev.time = at
+            ev.seq = seq
+            ev.callback = callback
+            ev.args = (arg,)
+        else:
+            ev = ScheduledEvent(at, seq, callback, (arg,))
+            ev._pooled = True
+        heappush(sim._heap, (at, seq, ev))
+
     def transmit(self, src_lid: int, dst_lid: int, payload_bytes: int, message: Any) -> int:
         """Inject a message; returns (and schedules delivery at) the arrival
         time of its last byte at the destination HCA.
@@ -86,14 +119,21 @@ class Fabric:
 
         if src_lid == dst_lid:
             # HCA-internal loopback: no switch, host-bus limited.
-            ser = transfer_ns(cfg.wire_bytes(payload_bytes), cfg.pci_bytes_per_ns)
+            ser = self._lo_cache.get(payload_bytes)
+            if ser is None:
+                ser = transfer_ns(cfg.wire_bytes(payload_bytes), cfg.pci_bytes_per_ns)
+                self._lo_cache[payload_bytes] = ser
             arrival = now + cfg.loopback_ns + ser
-            self.sim.schedule_at(arrival, self._lids[dst_lid]._deliver, message)
+            self._schedule_delivery(arrival, self._deliver_cb[dst_lid], message)
             return arrival
 
-        wire = cfg.wire_bytes(payload_bytes)
+        cached = self._ser_cache.get(payload_bytes)
+        if cached is None:
+            wire = cfg.wire_bytes(payload_bytes)
+            ser = transfer_ns(wire, cfg.effective_bytes_per_ns())
+            cached = self._ser_cache[payload_bytes] = (wire, ser)
+        wire, ser = cached
         self.wire_bytes += wire
-        ser = transfer_ns(wire, cfg.effective_bytes_per_ns())
 
         # host -> switch link (FIFO)
         start_up = max(now, self._up_busy[src_lid])
@@ -105,7 +145,21 @@ class Fabric:
         self._down_busy[dst_lid] = start_down + ser
 
         arrival = start_down + ser + cfg.link_prop_ns
-        self.sim.schedule_at(arrival, self._lids[dst_lid]._deliver, message)
+        # Open-coded _schedule_delivery (this is the per-packet hot path;
+        # arrival > now always: ser >= 1 and link_prop_ns >= 0).
+        sim = self.sim
+        seq = sim._seq = sim._seq + 1
+        free = sim._free
+        if free:
+            ev = free.pop()
+            ev.time = arrival
+            ev.seq = seq
+            ev.callback = self._deliver_cb[dst_lid]
+            ev.args = (message,)
+        else:
+            ev = ScheduledEvent(arrival, seq, self._deliver_cb[dst_lid], (message,))
+            ev._pooled = True
+        heappush(sim._heap, (arrival, seq, ev))
         self.tracer.record(now, "fabric.tx", src_lid, dst_lid, payload_bytes, arrival)
         return arrival
 
@@ -117,16 +171,35 @@ class Fabric:
         cfg = self.config
         if src_lid == dst_lid:
             return cfg.loopback_ns
-        ser = transfer_ns(cfg.ack_bytes, cfg.link_rate.bytes_per_ns)
-        return 2 * cfg.link_prop_ns + cfg.switch_delay_ns + ser
+        ns = self._ctrl_remote_ns
+        if ns is None:
+            ser = transfer_ns(cfg.ack_bytes, cfg.link_rate.bytes_per_ns)
+            ns = self._ctrl_remote_ns = 2 * cfg.link_prop_ns + cfg.switch_delay_ns + ser
+        return ns
 
     def send_control(
         self, src_lid: int, dst_lid: int, callback: Callable, *args: Any
     ) -> int:
         """Deliver a control packet (uncontended fixed-latency path)."""
         self.control_msgs += 1
-        arrival = self.sim.now + self.control_path_ns(src_lid, dst_lid)
-        self.sim.schedule_at(arrival, callback, *args)
+        sim = self.sim
+        arrival = sim.now + self.control_path_ns(src_lid, dst_lid)
+        # Open-coded call_at (per-ACK/credit-update hot path).
+        seq = sim._seq = sim._seq + 1
+        if arrival == sim.now:
+            sim._now_q.append((seq, callback, args))
+            return arrival
+        free = sim._free
+        if free:
+            ev = free.pop()
+            ev.time = arrival
+            ev.seq = seq
+            ev.callback = callback
+            ev.args = args
+        else:
+            ev = ScheduledEvent(arrival, seq, callback, args)
+            ev._pooled = True
+        heappush(sim._heap, (arrival, seq, ev))
         return arrival
 
     def idle(self) -> bool:

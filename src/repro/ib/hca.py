@@ -55,8 +55,17 @@ class HCA:
         self._ready: Deque[QueuePair] = deque()
         self._in_ready: set = set()
         self._send_busy = 0
-        self._pump_ev = None
+        self._pump_scheduled = False
         self._recv_busy = 0
+        #: receive-engine burst FIFO: (service_done_ns, msg) in arrival
+        #: order.  One armed agenda event services the whole burst head-to
+        #: -tail instead of one heap entry per in-flight packet.
+        self._rx_fifo: Deque[tuple] = deque()
+        self._rx_armed = False
+        # These go onto the agenda once per message; prebinding avoids a
+        # bound-method allocation per scheduling.
+        self._pump = self._pump
+        self._rx_service = self._rx_service
         fabric.attach(lid, self)
 
     # ------------------------------------------------------------------
@@ -108,13 +117,14 @@ class HCA:
         self._schedule_pump()
 
     def _schedule_pump(self) -> None:
-        if self._pump_ev is not None or not self._ready:
+        if self._pump_scheduled or not self._ready:
             return
         at = max(self.sim.now, self._send_busy)
-        self._pump_ev = self.sim.schedule_at(at, self._pump)
+        self._pump_scheduled = True
+        self.sim.call_at(at, self._pump)
 
     def _pump(self) -> None:
-        self._pump_ev = None
+        self._pump_scheduled = False
         now = self.sim.now
         if self._send_busy > now:
             self._schedule_pump()
@@ -131,13 +141,15 @@ class HCA:
                 self._in_ready.add(qp.qp_num)
             cost = self.config.hca_send_wqe_ns + self.config.dma_startup_ns
             self._send_busy = now + cost
-            self.sim.schedule(cost, self._inject, qp, wr)
+            # Build the message now (the WR is final once taken) and put
+            # the fabric hand-off itself on the agenda — one event, no
+            # intermediate _inject frame.
+            msg = qp._make_message(wr)
+            self.sim.call_later(
+                cost, self.fabric.transmit, self.lid, qp.remote_lid, wr.length, msg
+            )
             self._schedule_pump()
             return
-
-    def _inject(self, qp: QueuePair, wr) -> None:
-        msg = qp._make_message(wr)
-        self.fabric.transmit(self.lid, qp.remote_lid, wr.length, msg)
 
     # ------------------------------------------------------------------
     # receive path
@@ -156,7 +168,22 @@ class HCA:
             cost = self.config.hca_recv_wqe_ns
         done = start + cost
         self._recv_busy = done
-        self.sim.schedule_at(done, self._rx_process, msg)
+        self._rx_fifo.append((done, msg))
+        if not self._rx_armed:
+            self._rx_armed = True
+            self.sim.call_at(done, self._rx_service)
+
+    def _rx_service(self) -> None:
+        """Service the head of the receive-engine FIFO (one event per
+        message, re-armed before protocol processing so burst arrivals keep
+        their engine-service order)."""
+        done, msg = self._rx_fifo.popleft()
+        if self._rx_fifo:
+            self._rx_armed = True
+            self.sim.call_at(self._rx_fifo[0][0], self._rx_service)
+        else:
+            self._rx_armed = False
+        self._rx_process(msg)
 
     def _rx_process(self, msg: _Message) -> None:
         qp = self._qps.get(msg.dst_qpn)
@@ -199,7 +226,7 @@ class HCA:
         start = max(self.sim.now, self._send_busy)
         cost = self.config.hca_send_wqe_ns + self.config.dma_startup_ns
         self._send_busy = start + cost
-        self.sim.schedule_at(
+        self.sim.call_at(
             start + cost, self.fabric.transmit, self.lid, msg.src_lid, msg.length, response
         )
 

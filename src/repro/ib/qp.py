@@ -98,6 +98,12 @@ class QueuePair:
         self.state = QPState.RESET
         self.remote_lid = -1
         self.remote_qpn = -1
+        self._peer_qp: Optional["QueuePair"] = None  # resolved lazily
+        # IBConfig is frozen once traffic flows; snapshot the window so the
+        # injectability probe (twice per pumped WQE) and the post_recv hot
+        # path skip the attribute-chain walk.
+        self._max_inflight = hca.config.max_inflight_msgs
+        self._e2e_credit_updates = hca.config.e2e_credit_updates
 
         # --- requester state ---
         self._sq: Deque[SendWR] = deque()  # waiting to inject (incl. replays)
@@ -129,6 +135,7 @@ class QueuePair:
             raise QPError(f"QP {self.qp_num}: connect() in state {self.state}")
         self.remote_lid = remote_lid
         self.remote_qpn = remote_qpn
+        self._peer_qp = None
         self.state = QPState.READY
 
     def set_initial_credit_estimate(self, credits: Optional[int]) -> None:
@@ -137,7 +144,15 @@ class QueuePair:
         self._credit_est = credits
 
     def _peer(self) -> "QueuePair":
-        return self.hca.fabric.hca_at(self.remote_lid).qp(self.remote_qpn)
+        # Resolved once and cached: the remote end of an RC connection
+        # never changes after connect() (which resets the cache).  The
+        # two-dict chase sat on the per-message ACK path.
+        peer = self._peer_qp
+        if peer is None:
+            peer = self._peer_qp = self.hca.fabric.hca_at(self.remote_lid).qp(
+                self.remote_qpn
+            )
+        return peer
 
     # ------------------------------------------------------------------
     # verbs: posting
@@ -157,7 +172,7 @@ class QueuePair:
             raise QPError(f"QP {self.qp_num}: receive queue overflow")
         self._rq.append(wr)
         if (
-            self.hca.config.e2e_credit_updates
+            self._e2e_credit_updates
             and self._advertised_zero
             and self.state is QPState.READY
         ):
@@ -190,7 +205,7 @@ class QueuePair:
         """
         if self.state is not QPState.READY or self._rnr_waiting or not self._sq:
             return None
-        if len(self._inflight) >= self.hca.config.max_inflight_msgs:
+        if len(self._inflight) >= self._max_inflight:
             return None
         wr = self._sq[0]
         if wr.opcode is Opcode.SEND and self._credit_est is not None:

@@ -16,7 +16,7 @@ from typing import Any, Optional
 from repro.ib.types import Opcode, WCStatus
 
 
-@dataclass
+@dataclass(slots=True)
 class SendWR:
     """An outbound work request.
 
@@ -50,6 +50,7 @@ class SendWR:
 
     # transport bookkeeping (assigned by the QP; not caller-visible)
     msn: int = field(default=-1, repr=False)
+    rnr_tries: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.length < 0:
@@ -58,7 +59,7 @@ class SendWR:
             raise ValueError(f"{self.opcode.value} requires an rkey")
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvWR:
     """An inbound buffer descriptor.
 
@@ -75,7 +76,7 @@ class RecvWR:
             raise ValueError(f"negative recv capacity {self.capacity}")
 
 
-@dataclass
+@dataclass(slots=True)
 class WC:
     """A work completion.
 

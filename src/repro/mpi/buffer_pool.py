@@ -54,9 +54,12 @@ class SendBufferPool:
         if self.free >= self.capacity:
             raise BufferPoolError("release without matching acquire")
         self.free += 1
-        while self._waiters and self.free > 0:
-            sig = self._waiters.popleft()
-            sig.fire(self.sim, None)
+        # Wake exactly one parked waiter per freed buffer, in FIFO order.
+        # Waking the whole wait-list here would stampede every parked
+        # sender at the same instant for a single buffer (all but one
+        # re-park, and the re-append scrambles the FIFO ordering).
+        if self._waiters:
+            self._waiters.popleft().fire(self.sim, None)
 
     def wait_available(self) -> Signal:
         """A signal firing once a buffer is (or already is) free.  Caller

@@ -10,6 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: (memcpy_bytes_per_ns, nbytes) → ns.  Workloads reuse a handful of
+#: message sizes; the cap guards adversarial size sweeps.
+_COPY_NS_CACHE: dict = {}
+_COPY_NS_CACHE_MAX = 1 << 16
+
 
 @dataclass
 class MPIConfig:
@@ -76,7 +81,14 @@ class MPIConfig:
         return self.rndv_min_bytes or self.eager_max()
 
     def copy_ns(self, nbytes: int) -> int:
-        """Duration of one host memcpy of ``nbytes``."""
+        """Duration of one host memcpy of ``nbytes`` (memoized — this sits
+        on the per-message eager copy path)."""
         if nbytes <= 0:
             return 0
-        return max(1, int(round(nbytes / self.memcpy_bytes_per_ns)))
+        key = (self.memcpy_bytes_per_ns, nbytes)
+        ns = _COPY_NS_CACHE.get(key)
+        if ns is None:
+            if len(_COPY_NS_CACHE) >= _COPY_NS_CACHE_MAX:
+                _COPY_NS_CACHE.clear()
+            ns = _COPY_NS_CACHE[key] = max(1, int(round(nbytes / self.memcpy_bytes_per_ns)))
+        return ns

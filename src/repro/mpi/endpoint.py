@@ -37,7 +37,7 @@ from repro.mpi.pindown_cache import PinDownCache
 from repro.mpi.protocol import Header, MsgKind
 from repro.mpi.rendezvous import BounceRegion, RndvRecvOp, RndvSendOp, next_op_id
 from repro.mpi.request import Request, Status
-from repro.sim import Simulator, Timeout
+from repro.sim import AnyOf, Simulator, Timeout
 from repro.sim.trace import Tracer
 
 
@@ -89,6 +89,10 @@ class Endpoint:
 
         self.connections: Dict[int, Connection] = {}
         self._backlogged: Set[int] = set()  # peers with non-empty backlog
+        #: peers whose RDMA ring holds arrived-but-unprocessed messages
+        #: (dirty-flag wakeups: the progress engine only looks at these
+        #: instead of scanning every connection per poll)
+        self._ring_dirty: Set[int] = set()
         self._send_ctx: Dict[int, tuple] = {}
         self._ctx_ids = itertools.count(1)
         self._rndv_send: Dict[int, RndvSendOp] = {}
@@ -99,6 +103,10 @@ class Endpoint:
         #: armed waiter for RDMA-ring arrivals (the spin-loop stand-in)
         self._ring_notify = None
         self.finalized = False
+        # shared immutable waitables for the fixed per-call costs (the
+        # progress hot path yields these thousands of times per run)
+        self._t_call = Timeout(config.call_overhead_ns)
+        self._t_poll = Timeout(config.poll_overhead_ns)
 
         # observability
         self.bytes_sent = 0
@@ -174,11 +182,16 @@ class Endpoint:
         if size < 0:
             raise MPIError(f"negative message size {size}")
         req = Request(self.sim, "send")
-        conn = yield from self._ensure_connected(dest)
+        # Fast path: the connection almost always exists already; skip the
+        # sub-generator (and its per-call frame) entirely when it does.
+        conn = self.connections.get(dest)
+        if conn is None:
+            conn = yield from self._ensure_connected(dest)
         self.bytes_sent += size
-        yield Timeout(self.config.call_overhead_ns)
+        yield self._t_call
 
-        if mode != "sync" and size <= self.config.rndv_threshold():
+        cfg = self.config
+        if mode != "sync" and size <= (cfg.rndv_min_bytes or cfg.vbuf_bytes - cfg.header_bytes):
             header = Header(
                 kind=MsgKind.EAGER,
                 src=self.rank,
@@ -200,7 +213,7 @@ class Endpoint:
                     cost = self._emit(conn, header, "eager", req, control=False)
                 yield Timeout(cost)
             else:
-                self._enqueue_backlog(conn, PendingSend(header, req, self.now))
+                self._enqueue_backlog(conn, PendingSend(header, req, self.sim.now))
                 yield Timeout(self._drain(conn))
         else:
             # Rendezvous path (large messages, and every "sync" send —
@@ -242,13 +255,21 @@ class Endpoint:
                 op.rts_sent = True
                 yield Timeout(cost)
             else:
-                self._enqueue_backlog(conn, PendingSend(header, op, self.now))
+                self._enqueue_backlog(conn, PendingSend(header, op, self.sim.now))
                 yield Timeout(self._drain(conn))
         # Opportunistic progress poke: every MPI call advances the engine
         # (as MPICH's ADI does) — without it, a rank that only isends would
         # never see CTSs or credit updates (user-level flow control "relies
-        # on communication progress", paper §4.2).
-        yield from self._poll_once()
+        # on communication progress", paper §4.2).  The idle case of
+        # ``_poll_once`` is open-coded (same yield sequence) to skip a
+        # sub-generator per send.
+        yield self._t_poll
+        if self.cq._entries or self._ring_dirty:
+            yield from self._poll_busy()
+        elif self._backlogged:
+            cost = self._drain_backlogged()
+            if cost:
+                yield Timeout(cost)
         return req
 
     def irecv(
@@ -263,7 +284,7 @@ class Endpoint:
         if source != ANY_SOURCE:
             self._check_peer(source)
         req = Request(self.sim, "recv")
-        yield Timeout(self.config.call_overhead_ns)
+        yield self._t_call
         posted = PostedRecv(source, tag, context, capacity, req, buffer_id)
         unexpected = self.matching.post_recv(posted)
         if unexpected is not None:
@@ -282,7 +303,14 @@ class Endpoint:
                 self._check_capacity(h, capacity)
                 cost = self._rndv_recv_start(h, posted)
                 yield Timeout(cost)
-        yield from self._poll_once()
+        # Open-coded idle _poll_once, as in isend.
+        yield self._t_poll
+        if self.cq._entries or self._ring_dirty:
+            yield from self._poll_busy()
+        elif self._backlogged:
+            cost = self._drain_backlogged()
+            if cost:
+                yield Timeout(cost)
         return req
 
     def send(self, dest: int, size: int, **kwargs) -> Generator:
@@ -322,9 +350,30 @@ class Endpoint:
 
     def wait(self, request: Request) -> Generator:
         """Block until ``request`` completes; returns its status."""
-        t0 = self.now
-        yield from self._progress_until(lambda: request.done)
-        self.wait_ns += self.now - t0
+        sim = self.sim
+        t0 = sim.now
+        # Open-coded _progress_until(lambda: request.done): this is the
+        # single hottest progress loop and the closure + predicate calls
+        # are measurable.  Keep the yield sequence identical to the
+        # generic loop — determinism depends on it.
+        cq = self.cq
+        while not request.done:
+            # Inline idle _poll_once (same yield sequence).
+            yield self._t_poll
+            if cq._entries or self._ring_dirty:
+                yield from self._poll_busy()
+            elif self._backlogged:
+                cost = self._drain_backlogged()
+                if cost:
+                    yield Timeout(cost)
+            if request.done:
+                break
+            if not cq._entries and not self._ring_ready():
+                if self.config.use_rdma_channel:
+                    yield AnyOf([cq.wait_nonempty(), self._ring_wait()])
+                else:
+                    yield cq.wait_nonempty()
+        self.wait_ns += sim.now - t0
         return request.status
 
     def waitall(self, requests: List[Request]) -> Generator:
@@ -451,7 +500,10 @@ class Endpoint:
 
     def _ring_ready(self) -> bool:
         """Any RDMA-ring arrival that is next in its connection's sequence?"""
-        for conn in self.connections.values():
+        if not self._ring_dirty:
+            return False
+        for peer in self._ring_dirty:
+            conn = self.connections[peer]
             ch = conn.rx_channel
             if ch is not None and ch.poll_peek(conn.seq_in_expected):
                 return True
@@ -464,7 +516,7 @@ class Endpoint:
             yield from self._poll_once()
             if pred():
                 return
-            if len(self.cq) == 0 and not self._ring_ready():
+            if not self.cq._entries and not self._ring_ready():
                 if self.config.use_rdma_channel:
                     yield AnyOf([self.cq.wait_nonempty(), self._ring_wait()])
                 else:
@@ -472,22 +524,51 @@ class Endpoint:
 
     def _poll_once(self) -> Generator:
         """Drain the CQ and the RDMA rings, handling each completion (and
-        charging its CPU cost); drains backlogs afterwards."""
-        yield Timeout(self.config.poll_overhead_ns)
+        charging its CPU cost); drains backlogs afterwards.  Idle
+        connections cost nothing: only rings flagged dirty by an RDMA
+        deposit are examined."""
+        yield self._t_poll
+        # Idle fast path: nothing completed, no ring flagged dirty — the
+        # common case for the opportunistic poke every MPI call performs.
+        if not self.cq._entries and not self._ring_dirty:
+            if self._backlogged:
+                cost = self._drain_backlogged()
+                if cost:
+                    yield Timeout(cost)
+            return
+        yield from self._poll_busy()
+
+    def _poll_busy(self) -> Generator:
+        """The non-idle tail of :meth:`_poll_once` (poll overhead already
+        charged by the caller)."""
+        cq = self.cq
         while True:
             progressed = False
-            wcs = self.cq.poll(32)
+            wcs = cq.poll(32) if cq._entries else ()
             for wc in wcs:
                 progressed = True
                 cost = self._handle_wc(wc)
                 if cost:
                     yield Timeout(cost)
-            if self.config.use_rdma_channel:
-                for conn in list(self.connections.values()):
+            dirty = self._ring_dirty
+            if dirty:
+                if len(dirty) == 1:
+                    peers = tuple(dirty)
+                else:
+                    # connection-table order keeps multi-peer drains
+                    # deterministic (matches the pre-dirty-flag full scan)
+                    peers = [p for p in self.connections if p in dirty]
+                for peer in peers:
+                    conn = self.connections[peer]
                     ch = conn.rx_channel
                     while ch is not None:
                         h = ch.poll(conn.seq_in_expected)
                         if h is None:
+                            if not ch.has_arrivals:
+                                # fully drained; a blocked head (waiting on
+                                # a control message in the CQ path to
+                                # advance seq_in_expected) stays dirty
+                                dirty.discard(peer)
                             break
                         progressed = True
                         cost = self._handle_ring_eager(conn, h)
@@ -495,9 +576,10 @@ class Endpoint:
                             yield Timeout(cost)
             if not progressed:
                 break
-        cost = self._drain_backlogged()
-        if cost:
-            yield Timeout(cost)
+        if self._backlogged:
+            cost = self._drain_backlogged()
+            if cost:
+                yield Timeout(cost)
 
     def _handle_wc(self, wc: WC) -> int:
         if not wc.ok:
@@ -530,7 +612,7 @@ class Endpoint:
         # fast sender exhausts a slow receiver (paper §3.2).
         absorbed = True
         if h.kind is MsgKind.EAGER:
-            posted = self.matching.arrived(h, self.now)
+            posted = self.matching.arrived(h, self.sim.now)
             if posted is not None:
                 self._check_capacity(h, posted.capacity)
                 cost += self.config.copy_ns(h.size)  # vbuf -> user buffer
@@ -545,7 +627,7 @@ class Endpoint:
                     )
                 absorbed = False  # vbuf pinned until matched
         elif h.kind is MsgKind.RNDV_RTS:
-            posted = self.matching.arrived(h, self.now)
+            posted = self.matching.arrived(h, self.sim.now)
             if posted is not None:
                 self._check_capacity(h, posted.capacity)
                 cost += self._rndv_recv_start(h, posted)
@@ -698,15 +780,17 @@ class Endpoint:
         header.seq = conn.next_seq()
         ctx_id = next(self._ctx_ids)
         self._send_ctx[ctx_id] = (ctx_kind, conn, ref)
-        wire = header.wire_payload_bytes(self.config.header_bytes)
+        cfg = self.config
+        eager = header.kind is MsgKind.EAGER
+        wire = cfg.header_bytes + header.size if eager else cfg.header_bytes
         conn.qp.post_send(
             SendWR(wr_id=ctx_id, opcode=Opcode.SEND, length=wire, payload=header)
         )
         conn.stats.msgs_sent += 1
-        cost = self.config.post_overhead_ns
-        if header.kind is MsgKind.EAGER:
+        cost = cfg.post_overhead_ns
+        if eager:
             conn.stats.data_msgs_sent += 1
-            cost += self.config.copy_ns(header.size)  # user -> vbuf copy
+            cost += cfg.copy_ns(header.size)  # user -> vbuf copy
             if ref is not None:
                 # Buffered-send semantics: the user buffer is reusable the
                 # moment the payload is staged into the vbuf, so the send
@@ -764,7 +848,7 @@ class Endpoint:
 
         cost += self.config.copy_ns(h.size)  # slot -> user/temp copy
         self.bytes_received += h.size
-        posted = self.matching.arrived(h, self.now)
+        posted = self.matching.arrived(h, self.sim.now)
         if posted is not None:
             self._check_capacity(h, posted.capacity)
             self._complete_recv(posted.request, h.src, h.tag, h.size, h.payload)
@@ -842,7 +926,7 @@ class Endpoint:
                 break
             p = conn.backlog.popleft()
             p.header.went_backlog = True
-            conn.stats.credit_stalled_ns += self.now - p.enqueue_ns
+            conn.stats.credit_stalled_ns += self.sim.now - p.enqueue_ns
             if p.header.kind is MsgKind.EAGER:
                 if conn.rdma_eager:
                     cost += self._emit_ring(conn, p.header, p.request)
@@ -869,7 +953,7 @@ class Endpoint:
         handshake refreshes credit state via piggybacking)."""
         conn.fallback_inflight += 1
         conn.stats.rndv_fallbacks += 1
-        conn.stats.credit_stalled_ns += self.now - p.enqueue_ns
+        conn.stats.credit_stalled_ns += self.sim.now - p.enqueue_ns
         h = p.header
         if h.kind is MsgKind.EAGER:
             op = RndvSendOp(

@@ -70,7 +70,7 @@ class MatchingEngine:
         """Try to satisfy ``recv`` from the unexpected queue; if no message
         matches, enqueue it on the posted queue and return None."""
         for i, msg in enumerate(self._unexpected):
-            if msg.header.envelope.matches(recv.source, recv.tag, recv.context):
+            if msg.header.matches(recv.source, recv.tag, recv.context):
                 del self._unexpected[i]
                 return msg
         self._posted.append(recv)
@@ -83,7 +83,7 @@ class MatchingEngine:
         """Match ``header`` against posted receives (post order); if none
         matches, store it as unexpected and return None."""
         for i, recv in enumerate(self._posted):
-            if header.envelope.matches(recv.source, recv.tag, recv.context):
+            if header.matches(recv.source, recv.tag, recv.context):
                 del self._posted[i]
                 return recv
         self._unexpected.append(UnexpectedMsg(header, now))
@@ -98,7 +98,7 @@ class MatchingEngine:
     def iprobe(self, source: int, tag: int, context: int) -> Optional[Header]:
         """First unexpected message matching the triple, without removing."""
         for msg in self._unexpected:
-            if msg.header.envelope.matches(source, tag, context):
+            if msg.header.matches(source, tag, context):
                 return msg.header
         return None
 

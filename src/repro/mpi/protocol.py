@@ -22,6 +22,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
 
 class MsgKind(enum.Enum):
     EAGER = "eager"
@@ -46,8 +48,6 @@ class Envelope:
     context: int
 
     def matches(self, source: int, tag: int, context: int) -> bool:
-        from repro.mpi.constants import ANY_SOURCE, ANY_TAG
-
         if context != self.context:
             return False
         if source != ANY_SOURCE and source != self.src:
@@ -57,7 +57,7 @@ class Envelope:
         return True
 
 
-@dataclass
+@dataclass(slots=True)
 class Header:
     """Protocol header occupying ``MPIConfig.header_bytes`` on the wire.
 
@@ -94,6 +94,17 @@ class Header:
     @property
     def envelope(self) -> Envelope:
         return Envelope(self.src, self.tag, self.context)
+
+    def matches(self, source: int, tag: int, context: int) -> bool:
+        """Envelope match without materialising an :class:`Envelope` —
+        the matching engine calls this once per scanned queue entry."""
+        if context != self.context:
+            return False
+        if source != ANY_SOURCE and source != self.src:
+            return False
+        if tag != ANY_TAG and tag != self.tag:
+            return False
+        return True
 
     def wire_payload_bytes(self, header_bytes: int) -> int:
         """Bytes this message occupies on the wire (header + eager body)."""

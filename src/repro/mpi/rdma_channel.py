@@ -90,6 +90,7 @@ class RDMAChannel:
         simulator routes it here from the MR landing)."""
         heapq.heappush(self._arrived, (header.seq, header))
         self.messages += 1
+        self.endpoint._ring_dirty.add(self.peer)
         self.endpoint._ring_signal_fire()
 
     def poll(self, expected_seq: int) -> Optional["Header"]:

@@ -1,22 +1,61 @@
 """The event loop at the heart of the simulator.
 
-The :class:`Simulator` owns a binary-heap agenda of :class:`ScheduledEvent`
-entries.  Each entry is ``(time, seq, callback)``; ``seq`` is a global
+The :class:`Simulator` owns a binary-heap agenda plus a same-instant FIFO.
+Heap entries are ``(time, seq, event)`` tuples; ``seq`` is a global
 monotonically increasing integer so that events scheduled for the same
 nanosecond fire in scheduling order.  This determinism is load-bearing: the
-whole reproduction relies on bit-identical replays for its regression tests.
+whole reproduction relies on bit-identical replays for its regression tests
+(see ``tests/test_determinism_replay.py``), so every fast path below must
+preserve the exact ``(time, seq)`` execution order and the value of
+:attr:`Simulator.events_executed`.
+
+Hot-path design notes
+---------------------
+* Heap entries are plain tuples, ordered by their leading ``(time, seq)``
+  ints at C speed; ``seq`` is unique, so the third element never takes part
+  in a comparison.
+* Fire-and-forget scheduling (:meth:`Simulator.call_soon`,
+  :meth:`call_later`, :meth:`call_at`) returns no cancellation handle and
+  draws :class:`ScheduledEvent` records from a free list, recycling them
+  after they fire.  :meth:`schedule`/:meth:`schedule_at` always allocate a
+  fresh event so a caller-held handle can never alias a recycled one.
+* Zero-delay events land on a deque (``call_soon``) instead of the heap —
+  the dominant self-scheduling pattern of the progress engine costs O(1).
+* Cancelled heap entries are discarded lazily; when they outnumber live
+  ones the heap is compacted in one pass (see :meth:`_note_cancel`).
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
-from typing import Any, Callable, Generator, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional
 
 from repro.sim.trace import Tracer
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (e.g. scheduling in the past)."""
+
+
+def _as_int_ns(value: Any, what: str) -> int:
+    """Validate an integral nanosecond quantity.
+
+    Fractional delays indicate a calibration bug upstream and are rejected
+    to protect determinism (truncating them silently would let two runs
+    diverge depending on float rounding upstream).
+    """
+    if type(value) is int:
+        return value
+    if isinstance(value, int):  # bool / IntEnum / numpy-style integrals
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise SimulationError(
+        f"non-integral {what} {value!r}: the clock is integer nanoseconds; "
+        "round explicitly at the call site (see repro.sim.units)"
+    )
 
 
 class ScheduledEvent:
@@ -27,7 +66,7 @@ class ScheduledEvent:
     is lazily discarded).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim", "_pooled")
 
     def __init__(self, time: int, seq: int, callback: Callable, args: tuple):
         self.time = time
@@ -35,10 +74,18 @@ class ScheduledEvent:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: back-ref for cancellation accounting; cleared once popped
+        self._sim: Optional["Simulator"] = None
+        #: free-list events never escape the kernel and may be recycled
+        self._pooled = False
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancel()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         if self.time != other.time:
@@ -48,6 +95,15 @@ class ScheduledEvent:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = " cancelled" if self.cancelled else ""
         return f"<ScheduledEvent t={self.time} seq={self.seq}{state}>"
+
+
+#: cap on the ScheduledEvent free list (bounds idle memory, far above the
+#: number of simultaneously pending pooled events in any workload)
+_POOL_MAX = 4096
+
+#: compact the heap once at least this many cancelled entries accumulate
+#: *and* they outnumber the live ones
+_COMPACT_MIN = 64
 
 
 class Simulator:
@@ -62,9 +118,12 @@ class Simulator:
 
     def __init__(self, tracer: Optional[Tracer] = None):
         self.now: int = 0
-        self._heap: List[ScheduledEvent] = []
+        self._heap: List[tuple] = []  # (time, seq, ScheduledEvent)
+        self._now_q: Deque[tuple] = deque()  # FIFO of (seq, callback, args) at t == now
         self._seq: int = 0
         self._running = False
+        self._free: List[ScheduledEvent] = []  # ScheduledEvent free list
+        self._cancelled_pending = 0  # cancelled entries still in the heap
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         #: number of events executed so far (cancelled events excluded)
         self.events_executed: int = 0
@@ -75,23 +134,108 @@ class Simulator:
     def schedule(self, delay: int, callback: Callable, *args: Any) -> ScheduledEvent:
         """Run ``callback(*args)`` ``delay`` nanoseconds from now.
 
-        ``delay`` must be a non-negative integer; fractional delays indicate
-        a calibration bug upstream and are rejected to protect determinism.
+        ``delay`` must be a non-negative integer; fractional delays are
+        rejected with :class:`SimulationError` to protect determinism.
+        Returns a cancellable handle.
         """
+        if type(delay) is not int:
+            delay = _as_int_ns(delay, "delay")
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ns in the past")
-        return self.schedule_at(self.now + int(delay), callback, *args)
+        return self._push_handle(self.now + delay, callback, args)
 
     def schedule_at(self, time: int, callback: Callable, *args: Any) -> ScheduledEvent:
-        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        """Run ``callback(*args)`` at absolute simulated ``time`` (an
+        integer; fractional times raise :class:`SimulationError`)."""
+        if type(time) is not int:
+            time = _as_int_ns(time, "time")
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is {self.now})"
             )
+        return self._push_handle(time, callback, args)
+
+    def _push_handle(self, time: int, callback: Callable, args: tuple) -> ScheduledEvent:
         self._seq += 1
-        ev = ScheduledEvent(int(time), self._seq, callback, args)
-        heapq.heappush(self._heap, ev)
+        ev = ScheduledEvent(time, self._seq, callback, args)
+        ev._sim = self
+        heapq.heappush(self._heap, (time, self._seq, ev))
         return ev
+
+    # --- fire-and-forget fast paths -----------------------------------
+    def call_soon(self, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at the current instant, after every event
+        already scheduled for it.  Equivalent to ``schedule(0, ...)`` minus
+        the cancellation handle and the heap traffic."""
+        self._seq += 1
+        self._now_q.append((self._seq, callback, args))
+
+    def call_later(self, delay: int, callback: Callable, *args: Any) -> None:
+        """``schedule(delay, ...)`` without a cancellation handle; pending
+        state is drawn from the event free list and recycled after firing.
+        (The push is open-coded — this is the single hottest scheduling
+        entry point, fed by every ``Timeout`` yield.)"""
+        if type(delay) is not int:
+            delay = _as_int_ns(delay, "delay")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        seq = self._seq = self._seq + 1
+        if delay == 0:
+            self._now_q.append((seq, callback, args))
+            return
+        time = self.now + delay
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.callback = callback
+            ev.args = args
+        else:
+            ev = ScheduledEvent(time, seq, callback, args)
+            ev._pooled = True
+        heapq.heappush(self._heap, (time, seq, ev))
+
+    def call_at(self, time: int, callback: Callable, *args: Any) -> None:
+        """``schedule_at(time, ...)`` without a cancellation handle."""
+        if type(time) is not int:
+            time = _as_int_ns(time, "time")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is {self.now})"
+            )
+        seq = self._seq = self._seq + 1
+        if time == self.now:
+            self._now_q.append((seq, callback, args))
+            return
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.callback = callback
+            ev.args = args
+        else:
+            ev = ScheduledEvent(time, seq, callback, args)
+            ev._pooled = True
+        heapq.heappush(self._heap, (time, seq, ev))
+
+    # --- cancellation accounting --------------------------------------
+    def _note_cancel(self) -> None:
+        """A pending handle was cancelled; compact the heap when cancelled
+        entries dominate (lazy-cancel would otherwise let pathological
+        schedule/cancel churn grow the heap without bound)."""
+        self._cancelled_pending += 1
+        heap = self._heap
+        if (
+            self._cancelled_pending >= _COMPACT_MIN
+            and self._cancelled_pending * 2 > len(heap)
+        ):
+            # In place: run() holds a local binding to this list across
+            # callbacks, so the object identity must survive compaction.
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # process management
@@ -102,7 +246,7 @@ class Simulator:
         from repro.sim.process import Process
 
         proc = Process(self, generator, name=name)
-        self.schedule(0, proc._step, None, None)
+        self.call_soon(proc._step, None, None)
         return proc
 
     # ------------------------------------------------------------------
@@ -123,34 +267,91 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        heappop = heapq.heappop
+        now_q = self._now_q
+        popleft = now_q.popleft
+        free = self._free
+        heap = self._heap  # compaction is in-place, so this binding is stable
+        # Infinity sentinels keep the per-event checks to one C-level
+        # comparison each instead of an ``is not None`` branch plus one.
+        limit = max_events if max_events is not None else float("inf")
+        stop = until if until is not None else float("inf")
+        executed = self.events_executed
+        now = self.now  # local mirror; only this loop advances the clock
+        # The event loop churns short-lived objects (events, headers, WCs)
+        # that the cyclic collector scans over and over without freeing
+        # anything refcounting doesn't already handle; pausing it for the
+        # duration is worth ~5% wall time.  Restored even on error.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            heap = self._heap
-            while heap:
-                ev = heapq.heappop(heap)
+            while True:
+                # Same-instant FIFO first, unless a heap entry at the same
+                # time holds an older seq (scheduled before the FIFO entry).
+                if now_q:
+                    entry = now_q[0]
+                    if not heap or heap[0][0] > now or heap[0][1] > entry[0]:
+                        popleft()
+                        executed += 1
+                        if executed > limit:
+                            self.events_executed = executed
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; likely livelock"
+                            )
+                        entry[1](*entry[2])
+                        continue
+                if not heap:
+                    break
+                time, _seq, ev = heappop(heap)
                 if ev.cancelled:
+                    ev._sim = None
+                    self._cancelled_pending -= 1
                     continue
-                if until is not None and ev.time > until:
-                    heapq.heappush(heap, ev)
+                if time > stop:
+                    heapq.heappush(heap, (time, ev.seq, ev))
                     self.now = until
                     return
-                self.now = ev.time
-                self.events_executed += 1
-                if max_events is not None and self.events_executed > max_events:
+                self.now = now = time
+                executed += 1
+                if executed > limit:
+                    self.events_executed = executed
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely livelock"
                     )
                 ev.callback(*ev.args)
+                # Pooled events never carried a handle (``_sim`` stays
+                # None); handle-backed ones must drop theirs so a late
+                # cancel() cannot corrupt the cancellation accounting.
+                if ev._pooled:
+                    if len(free) < _POOL_MAX:
+                        ev.callback = None
+                        ev.args = ()
+                        free.append(ev)
+                else:
+                    ev._sim = None
             if until is not None and until > self.now:
                 self.now = until
         finally:
+            self.events_executed = executed
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
 
     def peek(self) -> Optional[int]:
         """Time of the next non-cancelled event, or ``None`` if idle."""
+        if self._now_q:
+            return self.now
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        while heap and heap[0][2].cancelled:
+            _, _, ev = heapq.heappop(heap)
+            ev._sim = None
+            self._cancelled_pending -= 1
+        return heap[0][0] if heap else None
+
+    @property
+    def _pending(self) -> int:
+        return len(self._heap) + len(self._now_q)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator now={self.now} pending={len(self._heap)}>"
+        return f"<Simulator now={self.now} pending={self._pending}>"

@@ -10,9 +10,14 @@ sub-routines and ``yield other_process`` for fork/join.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, List, Optional
 
-from repro.sim.waitables import Waitable
+from repro.sim.engine import ScheduledEvent
+from repro.sim.waitables import Timeout, Waitable
+
+#: shared resume-args tuple — every Timeout wakeup resumes with (None, None)
+_NONE2 = (None, None)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -56,20 +61,27 @@ class Process(Waitable):
         self.failure: Optional[BaseException] = None
         self._joiners: List[Process] = []
         self._join_cbs: List[Any] = []
+        # Hot path: bind once.  ``_resume`` is scheduled tens of thousands
+        # of times per run; shadowing the methods with instance attributes
+        # avoids a bound-method allocation per wakeup, and ``_send`` skips
+        # one attribute chain per step.  ``_step`` is the same function —
+        # the alive guard is folded in (a dead process ignores stale
+        # wakeups either way, and one wrapper frame per event adds up).
+        self._send = generator.send
+        self._resume = self._resume
+        self._step = self._resume
 
     # ------------------------------------------------------------------
     # kernel interface
     # ------------------------------------------------------------------
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
-        if self.alive:
-            self._step(value, exc)
-
-    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self.alive:
+            return
         try:
-            if exc is not None:
-                item = self.gen.throw(exc)
+            if exc is None:
+                item = self._send(value)
             else:
-                item = self.gen.send(value)
+                item = self.gen.throw(exc)
         except StopIteration as stop:
             self._finish(getattr(stop, "value", None), None)
             return
@@ -78,6 +90,30 @@ class Process(Waitable):
             return
         except BaseException as err:  # noqa: BLE001 - must capture any failure
             self._finish(None, err)
+            return
+        # Timeout is by far the most common waitable (every modelled CPU
+        # cost); its wakeup is open-coded against the kernel internals —
+        # equivalent to ``sim.call_later(delay, self._resume, None, None)``
+        # minus two call frames.  Timeout.__init__ validated the delay.
+        if item.__class__ is Timeout:
+            sim = self.sim
+            delay = item.delay
+            seq = sim._seq = sim._seq + 1
+            if delay == 0:
+                sim._now_q.append((seq, self._resume, _NONE2))
+            else:
+                t = sim.now + delay
+                free = sim._free
+                if free:
+                    ev = free.pop()
+                    ev.time = t
+                    ev.seq = seq
+                    ev.callback = self._resume
+                    ev.args = _NONE2
+                else:
+                    ev = ScheduledEvent(t, seq, self._resume, _NONE2)
+                    ev._pooled = True
+                heappush(sim._heap, (t, seq, ev))
             return
         if not isinstance(item, Waitable):
             self._finish(
@@ -88,6 +124,8 @@ class Process(Waitable):
             )
             return
         item._block(self.sim, self)
+
+    _step = _resume
 
     def _finish(self, result: Any, failure: Optional[BaseException]) -> None:
         self.alive = False
@@ -101,11 +139,11 @@ class Process(Waitable):
             raise failure
         for joiner in joiners:
             if failure is not None:
-                self.sim.schedule(0, joiner._resume, None, ProcessFailed(self, failure))
+                self.sim.call_soon(joiner._resume, None, ProcessFailed(self, failure))
             else:
-                self.sim.schedule(0, joiner._resume, result, None)
+                self.sim.call_soon(joiner._resume, result, None)
         for cb in cbs:
-            self.sim.schedule(0, cb, self)
+            self.sim.call_soon(cb, self)
 
     # ------------------------------------------------------------------
     # waitable interface (join)
@@ -113,16 +151,16 @@ class Process(Waitable):
     def _block(self, sim: "Simulator", process: "Process") -> None:
         if not self.alive:
             if self.failure is not None:
-                sim.schedule(0, process._resume, None, ProcessFailed(self, self.failure))
+                sim.call_soon(process._resume, None, ProcessFailed(self, self.failure))
             else:
-                sim.schedule(0, process._resume, self.result, None)
+                sim.call_soon(process._resume, self.result, None)
         else:
             self._joiners.append(process)
 
     def on_exit(self, callback) -> None:
         """Register ``callback(process)`` to run when this process ends."""
         if not self.alive:
-            self.sim.schedule(0, callback, self)
+            self.sim.call_soon(callback, self)
         else:
             self._join_cbs.append(callback)
 
@@ -132,7 +170,7 @@ class Process(Waitable):
     def kill(self) -> None:
         """Terminate the process at its next resumption point."""
         if self.alive:
-            self.sim.schedule(0, self._resume, None, ProcessKilled())
+            self.sim.call_soon(self._resume, None, ProcessKilled())
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "alive" if self.alive else "done"

@@ -38,7 +38,7 @@ class Timeout(Waitable):
         self.delay = int(delay)
 
     def _block(self, sim: "Simulator", process: "Process") -> None:
-        sim.schedule(self.delay, process._resume, None, None)
+        sim.call_later(self.delay, process._resume, None, None)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Timeout({self.delay})"
@@ -66,7 +66,7 @@ class Signal(Waitable):
 
     def _block(self, sim: "Simulator", process: "Process") -> None:
         if self.fired:
-            sim.schedule(0, process._resume, self.value, self.exc)
+            sim.call_soon(process._resume, self.value, self.exc)
         else:
             self._waiters.append(process)
 
@@ -78,7 +78,7 @@ class Signal(Waitable):
         self.value = value
         waiters, self._waiters = self._waiters, []
         for proc in waiters:
-            sim.schedule(0, proc._resume, value, None)
+            sim.call_soon(proc._resume, value, None)
 
     def fail(self, sim: "Simulator", exc: BaseException) -> None:
         """Mark the signal fired with an exception; waiters re-raise it."""
@@ -88,7 +88,7 @@ class Signal(Waitable):
         self.exc = exc
         waiters, self._waiters = self._waiters, []
         for proc in waiters:
-            sim.schedule(0, proc._resume, None, exc)
+            sim.call_soon(proc._resume, None, exc)
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "fired" if self.fired else f"{len(self._waiters)} waiting"
@@ -106,7 +106,7 @@ class AllOf(Waitable):
         remaining = [c for c in self.children if not c.fired]
         state = {"count": len(remaining)}
         if state["count"] == 0:
-            sim.schedule(0, process._resume, [c.value for c in self.children], None)
+            sim.call_soon(process._resume, [c.value for c in self.children], None)
             return
 
         def on_child(value: Any, parent: "Process" = process) -> None:
@@ -129,7 +129,7 @@ class AnyOf(Waitable):
     def _block(self, sim: "Simulator", process: "Process") -> None:
         for i, child in enumerate(self.children):
             if child.fired:
-                sim.schedule(0, process._resume, (i, child.value), None)
+                sim.call_soon(process._resume, (i, child.value), None)
                 return
         state = {"done": False}
 

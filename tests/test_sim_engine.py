@@ -61,6 +61,34 @@ def test_negative_delay_rejected():
         sim.schedule(-1, lambda: None)
 
 
+def test_fractional_delay_rejected():
+    # The clock is integer nanoseconds.  A fractional delay means a
+    # calibration bug upstream; truncating it silently would let two runs
+    # diverge on float rounding, so the kernel must raise instead.
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(2.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(2.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.call_later(0.25, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.call_at(0.25, lambda: None)
+    assert sim.events_executed == 0 and not sim._heap and not sim._now_q
+
+
+def test_integral_float_delay_coerced_exactly():
+    # Floats that *are* integers (e.g. the result of round()) are accepted
+    # and land on the integer clock.
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "a")
+    sim.schedule_at(5.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.now == 5 and type(sim.now) is int
+
+
 def test_schedule_at_in_past_rejected():
     sim = Simulator()
     sim.schedule(100, lambda: None)

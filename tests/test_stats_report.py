@@ -1,0 +1,23 @@
+"""Regression tests for repro.core.stats aggregation edge cases."""
+
+from repro.core.stats import collect_report
+
+
+class _EndpointWithNoConnections:
+    connections: dict = {}
+
+
+def test_collect_report_empty_endpoint_list():
+    report = collect_report([])
+    assert report.avg_ecm_per_connection == 0.0
+    assert report.total_msgs == 0
+    assert report.ecm_msgs == 0
+
+
+def test_collect_report_zero_connections_does_not_divide_by_zero():
+    # A single-rank job (or on-demand mode before any traffic) has
+    # endpoints but no connections; the ECM average must be 0.0, not a
+    # ZeroDivisionError.
+    report = collect_report([_EndpointWithNoConnections()])
+    assert report.avg_ecm_per_connection == 0.0
+    assert report.max_posted_buffers == 0

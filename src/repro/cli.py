@@ -7,17 +7,21 @@ Commands mirror the paper's experiments:
 * ``nas``       — run NAS proxies under the three schemes (Figures 9-10,
   Tables 1-2 statistics);
 * ``scaling``   — the beyond-the-paper experiment: dynamic scheme +
-  on-demand connections on a fat-tree cluster.
+  on-demand connections on a fat-tree cluster;
+* ``chaos``     — deterministic fault injection: compare the schemes'
+  robustness under a named fault scenario (``repro.faults``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis import Figure, Table, pct_change
 from repro.cluster import TestbedConfig, run_job
+from repro.faults import SCENARIOS, run_chaos
 from repro.sim.units import to_us
 from repro.workloads import bandwidth_program, latency_program
 from repro.workloads.nas import KERNEL_ORDER, KERNELS
@@ -152,13 +156,51 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    report = run_chaos(args.scenario, seed=args.seed,
+                       schemes=args.schemes, prepost=args.prepost)
+    if args.check:
+        rerun = run_chaos(args.scenario, seed=args.seed,
+                          schemes=args.schemes, prepost=args.prepost)
+        if json.dumps(report, sort_keys=True) != json.dumps(rerun, sort_keys=True):
+            print("DETERMINISM DRIFT: two identical chaos runs disagree",
+                  file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        table = Table(
+            f"Chaos '{report['scenario']}' seed={report['seed']} "
+            f"prepost={report['prepost']} "
+            f"(faults end at {report['fault_window_us']:.0f} us)",
+            ["done", "time_us", "recovery_us", "retrans", "rnr_naks",
+             "backlog_max", "ecms", "fallbacks"],
+        )
+        for scheme, entry in report["schemes"].items():
+            if entry.get("completed"):
+                table.add_row(scheme, "yes", entry["elapsed_us"],
+                              entry["recovery_us"], entry["retransmissions"],
+                              entry["rnr_naks"], entry["backlog_max"],
+                              entry["ecm_msgs"], entry["rndv_fallbacks"])
+            else:
+                table.add_row(scheme, "FAILED", entry["error"],
+                              "-", "-", "-", "-", "-", "-")
+        print(table.render())
+    if args.check:
+        print("determinism check passed (two runs bit-identical)",
+              file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Flow Control Schemes in MPI over "
                     "InfiniBand' (Liu & Panda, IPPS 2004) on a simulated cluster",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    # Not ``required=True``: a missing subcommand is handled in ``main``
+    # with a printed usage + exit code 2 instead of an argparse traceback.
+    sub = parser.add_subparsers(dest="command")
 
     p = sub.add_parser("latency", help="latency sweep (Figure 2)")
     _add_common(p)
@@ -206,11 +248,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=3)
     p.set_defaults(fn=cmd_scaling)
 
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection robustness comparison (repro.faults)",
+    )
+    p.add_argument("--scenario", required=True, choices=sorted(SCENARIOS),
+                   help="named fault scenario (see EXPERIMENTS.md)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="fault-plan RNG seed (fixed seed -> bit-identical run)")
+    p.add_argument("--schemes", nargs="+", default=list(SCHEMES),
+                   choices=SCHEMES, help="flow control schemes to compare")
+    p.add_argument("--prepost", type=int, default=None,
+                   help="receive buffers per connection (default: scenario's)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as canonical JSON")
+    p.add_argument("--check", action="store_true",
+                   help="run twice and exit 1 unless bit-identical")
+    p.set_defaults(fn=cmd_chaos)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits on --help (code 0) and on errors such as an
+        # unknown subcommand (code 2, usage already printed to stderr);
+        # surface that as a return code instead of an exception.
+        return exc.code if isinstance(exc.code, int) else 2
+    if getattr(args, "fn", None) is None:
+        parser.print_usage(sys.stderr)
+        return 2
     return args.fn(args)
 
 

@@ -37,6 +37,9 @@ class JobResult:
     rank_finish_ns: List[int]
     fc: FlowControlReport
     endpoints: List[Endpoint] = field(repr=False, default_factory=list)
+    #: the cluster's tracer (counters incl. ``faults.*``), for robustness
+    #: reports — populated whether or not record-tracing was enabled
+    tracer: Any = field(repr=False, default=None)
     #: unordered pairs wired by the connection manager (None = static mesh)
     connections_established: Optional[int] = None
 
@@ -59,6 +62,7 @@ def run_job(
     trace: bool = False,
     on_demand: bool = False,
     max_events: int = MAX_JOB_EVENTS,
+    faults: Optional[Any] = None,
 ) -> JobResult:
     """Build a cluster, run ``program`` on every rank, return the result.
 
@@ -80,11 +84,20 @@ def run_job(
     finalize:
         Append an ``mpi.finalize()`` after the program (recommended; keeps
         statistics exact and guards against in-flight stragglers).
+    faults:
+        A :class:`repro.faults.FaultPlan` (or declarative spec dict) of
+        deterministic fault events to inject while the job runs.
     """
     if not isinstance(scheme, FlowControlScheme):
         scheme = make_scheme(scheme)
     cluster = Cluster(config, trace=trace)
     endpoints = cluster.launch(nranks, scheme, prepost, on_demand=on_demand)
+    if faults is not None:
+        from repro.faults import FaultInjector, FaultPlan
+
+        if isinstance(faults, dict):
+            faults = FaultPlan.from_spec(faults)
+        FaultInjector(cluster, faults).install()
 
     finish_ns = [0] * nranks
 
@@ -117,5 +130,6 @@ def run_job(
         rank_finish_ns=finish_ns,
         fc=collect_report(endpoints),
         endpoints=endpoints,
+        tracer=cluster.tracer,
         connections_established=(cluster.cm.established if cluster.cm else None),
     )

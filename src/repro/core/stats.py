@@ -24,6 +24,7 @@ class FlowControlReport:
     data_msgs: int
     ecm_msgs: int
     backlogged_msgs: int
+    backlog_max: int
     rndv_fallbacks: int
     max_posted_buffers: int
     avg_ecm_per_connection: float
@@ -42,7 +43,7 @@ def collect_report(endpoints: Iterable["Endpoint"]) -> FlowControlReport:
     """Aggregate every endpoint's connections into one report."""
     total = data = ecm = backlogged = fallbacks = 0
     piggy = ecmc = naks = retrans = 0
-    max_posted = 0
+    max_posted = backlog_max = 0
     conn_count = 0
     for ep in endpoints:
         for conn in ep.connections.values():
@@ -56,6 +57,7 @@ def collect_report(endpoints: Iterable["Endpoint"]) -> FlowControlReport:
             piggy += s.piggybacked_credits
             ecmc += s.ecm_credits
             max_posted = max(max_posted, s.max_prepost)
+            backlog_max = max(backlog_max, s.backlog_max)
             naks += conn.qp.rnr_naks_received
             retrans += conn.qp.retransmissions
     return FlowControlReport(
@@ -63,6 +65,7 @@ def collect_report(endpoints: Iterable["Endpoint"]) -> FlowControlReport:
         data_msgs=data,
         ecm_msgs=ecm,
         backlogged_msgs=backlogged,
+        backlog_max=backlog_max,
         rndv_fallbacks=fallbacks,
         max_posted_buffers=max_posted,
         # Guard the empty-endpoints / zero-connection case: a job that

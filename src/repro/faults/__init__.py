@@ -1,0 +1,30 @@
+"""Deterministic fault injection (chaos mode) for the simulated cluster.
+
+The paper's robustness story — user-level flow control degrades
+gracefully where the hardware scheme storms (Figure 10) — only shows
+under adverse conditions.  This package injects them, reproducibly:
+
+* :class:`FaultPlan` — a seeded schedule of link flaps, link degradation,
+  probabilistic drop/corruption windows, receiver stalls and HCA pauses
+  (builder API, or declarative dict/JSON specs);
+* :class:`FaultInjector` — installs a plan onto a launched cluster
+  (``run_job(..., faults=plan)`` does this for you);
+* :func:`run_chaos` / :data:`SCENARIOS` — named scenarios and the
+  per-scheme robustness report behind ``python -m repro chaos``.
+"""
+
+from repro.faults.injector import FabricFaultState, FaultInjector, FaultInjectorError
+from repro.faults.plan import FaultEvent, FaultPlan, FaultPlanError
+from repro.faults.scenarios import SCENARIOS, SCHEMES, run_chaos
+
+__all__ = [
+    "FabricFaultState",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultInjectorError",
+    "FaultPlan",
+    "FaultPlanError",
+    "SCENARIOS",
+    "SCHEMES",
+    "run_chaos",
+]

@@ -1,0 +1,185 @@
+"""Turning a :class:`~repro.faults.plan.FaultPlan` into live simulation
+events against one cluster.
+
+Two pieces:
+
+:class:`FabricFaultState` — the per-fabric verdict object consulted from
+the transmit hot paths (``Fabric.transmit`` / ``send_control``).  It holds
+the *currently open* fault windows; the begin/end transitions are ordinary
+agenda events scheduled by the injector, so the hot path never scans the
+plan.  All randomness (lossy windows) comes from one ``random.Random``
+seeded by the plan and is drawn in transmit order — deterministic given
+the deterministic kernel.
+
+:class:`FaultInjector` — installs the state onto the fabric, arms the
+transport ACK-timeout retry on every QP (the recovery mechanism for wire
+loss; see ``QueuePair.enable_transport_retry``), applies receiver-stall /
+HCA-pause events to endpoints and adapters, and emits ``faults.*``
+counters for the robustness report.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+class FaultInjectorError(RuntimeError):
+    pass
+
+
+class _DropWindow:
+    """One open lossy window (identity matters: begin appends, end removes
+    this exact instance, so overlapping windows coexist)."""
+
+    __slots__ = ("probability", "corrupt", "lids")
+
+    def __init__(self, ev: FaultEvent):
+        self.probability = ev.probability
+        self.corrupt = ev.corrupt
+        self.lids = frozenset(ev.lids) if ev.lids else None
+
+
+class FabricFaultState:
+    """Open fault windows, consulted per transmitted message.
+
+    ``on_data`` returns ``None`` to drop the message, else
+    ``(extra_latency_ns, ser_scale)`` where a ``ser_scale`` of 0 means "no
+    scaling" (so the healthy common case stays integer-only).
+    ``on_control`` returns ``None`` (link down) or extra latency ns.
+    """
+
+    def __init__(self, seed: int, tracer):
+        self.rng = random.Random(seed)
+        self.tracer = tracer
+        #: lid -> count of open link_flap windows (down while > 0)
+        self.down: Dict[int, int] = {}
+        #: lid -> list of (extra_latency_ns, ser_scale) degradations
+        self.degrade: Dict[int, List[Tuple[int, float]]] = {}
+        #: open lossy windows, in begin order
+        self.drops: List[_DropWindow] = []
+
+    # ----------------------------------------------------------- verdicts
+    def on_data(self, src_lid: int, dst_lid: int, payload_bytes: int):
+        down = self.down
+        if down.get(src_lid) or down.get(dst_lid):
+            self.tracer.count("faults.link_drop", (src_lid, dst_lid))
+            return None
+        for window in self.drops:
+            lids = window.lids
+            if lids is None or src_lid in lids or dst_lid in lids:
+                if self.rng.random() < window.probability:
+                    name = "faults.wire_corrupt" if window.corrupt else "faults.wire_drop"
+                    self.tracer.count(name, (src_lid, dst_lid))
+                    return None
+        extra = 0
+        scale = 0.0
+        degrade = self.degrade
+        if degrade:
+            for lid in (src_lid, dst_lid):
+                for e, s in degrade.get(lid, ()):
+                    extra += e
+                    if s > scale:
+                        scale = s
+        return (extra, scale)
+
+    def on_control(self, src_lid: int, dst_lid: int):
+        if src_lid == dst_lid:
+            return 0  # loopback never crosses a host link
+        down = self.down
+        if down.get(src_lid) or down.get(dst_lid):
+            self.tracer.count("faults.ctrl_drop", (src_lid, dst_lid))
+            return None
+        extra = 0
+        degrade = self.degrade
+        if degrade:
+            for lid in (src_lid, dst_lid):
+                for e, _s in degrade.get(lid, ()):
+                    extra += e
+        return extra
+
+
+class FaultInjector:
+    """Schedules a plan's events against a built (launched) cluster."""
+
+    def __init__(self, cluster, plan: FaultPlan):
+        plan.validate()
+        self.cluster = cluster
+        self.plan = plan
+        self.state = FabricFaultState(plan.seed, cluster.tracer)
+        self.installed = False
+        #: id(event) -> open _DropWindow, so _end removes the exact
+        #: instance _begin added (plans may be shared across clusters)
+        self._open_windows: Dict[int, _DropWindow] = {}
+
+    def install(self) -> "FaultInjector":
+        """Attach fault state to the fabric, arm transport retries on every
+        QP (current and future), and put every begin/end transition on the
+        agenda.  Call once, after ``cluster.launch`` and before ``run``."""
+        if self.installed:
+            raise FaultInjectorError("fault plan already installed")
+        self.installed = True
+        cluster, plan = self.cluster, self.plan
+        if cluster.fabric.fault is not None:
+            raise FaultInjectorError("fabric already has a fault state installed")
+        cluster.fabric.fault = self.state
+        arm = (plan.transport_timeout_ns, plan.transport_retry_limit)
+        for hca in cluster.hcas:
+            hca.fault_transport = arm
+            for qp in hca._qps.values():
+                qp.enable_transport_retry(*arm)
+        self._check_targets()
+        sim = cluster.sim
+        for ev in plan.events:
+            sim.schedule_at(ev.at_ns, self._begin, ev)
+            sim.schedule_at(ev.end_ns, self._end, ev)
+        return self
+
+    def _check_targets(self) -> None:
+        nodes = len(self.cluster.hcas)
+        ranks = len(self.cluster.endpoints)
+        for ev in self.plan.events:
+            if ev.kind in ("link_flap", "link_degrade", "hca_pause") and ev.lid >= nodes:
+                raise FaultInjectorError(
+                    f"{ev.kind}: lid {ev.lid} outside cluster of {nodes} nodes")
+            if ev.kind == "receiver_stall" and ev.rank >= ranks:
+                raise FaultInjectorError(
+                    f"receiver_stall: rank {ev.rank} outside world of {ranks}")
+            if ev.kind == "drop_window":
+                bad = [lid for lid in ev.lids if lid >= nodes]
+                if bad:
+                    raise FaultInjectorError(
+                        f"drop_window: lids {bad} outside cluster of {nodes} nodes")
+
+    # --------------------------------------------------------- transitions
+    def _begin(self, ev: FaultEvent) -> None:
+        state = self.state
+        state.tracer.count(f"faults.{ev.kind}")
+        if ev.kind == "link_flap":
+            state.down[ev.lid] = state.down.get(ev.lid, 0) + 1
+        elif ev.kind == "link_degrade":
+            scale = 0.0 if ev.bw_factor == 1.0 else 1.0 / ev.bw_factor
+            state.degrade.setdefault(ev.lid, []).append((ev.extra_latency_ns, scale))
+        elif ev.kind == "drop_window":
+            window = _DropWindow(ev)
+            state.drops.append(window)
+            self._open_windows[id(ev)] = window
+        elif ev.kind == "receiver_stall":
+            self.cluster.endpoints[ev.rank].fault_stall(ev.duration_ns)
+        elif ev.kind == "hca_pause":
+            self.cluster.hcas[ev.lid].pause(ev.duration_ns)
+
+    def _end(self, ev: FaultEvent) -> None:
+        state = self.state
+        if ev.kind == "link_flap":
+            state.down[ev.lid] -= 1
+        elif ev.kind == "link_degrade":
+            scale = 0.0 if ev.bw_factor == 1.0 else 1.0 / ev.bw_factor
+            state.degrade[ev.lid].remove((ev.extra_latency_ns, scale))
+        elif ev.kind == "drop_window":
+            state.drops.remove(self._open_windows.pop(id(ev)))
+        elif ev.kind == "receiver_stall":
+            self.cluster.endpoints[ev.rank].fault_release_stall()
+        # hca_pause ends by itself (the busy horizons pass)

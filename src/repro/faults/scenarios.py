@@ -1,0 +1,205 @@
+"""Canonical chaos scenarios and the per-scheme robustness report.
+
+Three named scenarios (see ``EXPERIMENTS.md`` for expected outcomes):
+
+``receiver-stall`` — a two-rank eager flood whose receiver goes
+slow-consumer mid-stream.  This is the paper's Figure-10 stressor: the
+hardware scheme degenerates into RNR timeout-and-retransmit storms while
+the user-level schemes park the overflow in the backlog queue and drain
+it through the rendezvous fallback.
+
+``flappy-link`` — a four-rank ring exchange across a host link that goes
+down twice.  Wire loss exercises the transport ACK-timeout replay path
+(and, for user-level schemes, credit recovery via ECMs after silence).
+
+``lossy-window`` — the flood again under a probabilistic drop window
+(seeded RNG, deterministic), the bounded-retry recovery stressor.
+
+``run_chaos`` runs the requested schemes under a scenario and returns a
+plain-dict report (stable key order) so the CLI can render/serialise it
+and the determinism check can compare two runs byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Iterable, Optional
+
+from repro.cluster.job import run_job
+from repro.faults.plan import FaultPlan
+from repro.sim.units import to_us, us
+
+SCHEMES = ("hardware", "static", "dynamic")
+
+
+# ----------------------------------------------------------------------
+# workload programs
+# ----------------------------------------------------------------------
+def _flood_program(msgs: int, msg_bytes: int) -> Callable:
+    """Rank 0 floods rank 1 with eager messages; rank 1 consumes them."""
+
+    def program(mpi) -> Generator:
+        if mpi.rank == 0:
+            reqs = []
+            for _ in range(msgs):
+                req = yield from mpi.isend(1, size=msg_bytes)
+                reqs.append(req)
+            yield from mpi.waitall(reqs)
+        else:
+            for _ in range(msgs):
+                yield from mpi.recv(0, capacity=msg_bytes)
+        return mpi.now
+
+    return program
+
+
+def _ring_program(rounds: int, msg_bytes: int) -> Callable:
+    """Neighbour exchange around a ring (every link carries traffic)."""
+
+    def program(mpi) -> Generator:
+        n = mpi.world_size
+        right = (mpi.rank + 1) % n
+        left = (mpi.rank - 1) % n
+        for _ in range(rounds):
+            rreq = yield from mpi.irecv(source=left, capacity=msg_bytes)
+            sreq = yield from mpi.isend(right, size=msg_bytes)
+            yield from mpi.waitall([rreq, sreq])
+        return mpi.now
+
+    return program
+
+
+# ----------------------------------------------------------------------
+# scenario registry
+# ----------------------------------------------------------------------
+class Scenario:
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        nranks: int,
+        prepost: int,
+        make_program: Callable[[], Callable],
+        make_plan: Callable[[int], FaultPlan],
+    ):
+        self.name = name
+        self.description = description
+        self.nranks = nranks
+        self.prepost = prepost
+        self.make_program = make_program
+        self.make_plan = make_plan
+
+
+def _receiver_stall_plan(seed: int) -> FaultPlan:
+    # ~10 RNR-timer periods (320 us each) of starvation from just after
+    # launch: the receiver is descheduled while the sender's burst lands.
+    return FaultPlan(seed=seed).receiver_stall(
+        rank=1, at_ns=us(5), duration_ns=us(3200)
+    )
+
+
+def _flappy_link_plan(seed: int) -> FaultPlan:
+    # The link under rank 2 drops twice while the ring is hot.
+    return (
+        FaultPlan(seed=seed)
+        .link_flap(lid=2, at_ns=us(150), duration_ns=us(250))
+        .link_flap(lid=2, at_ns=us(700), duration_ns=us(250))
+    )
+
+
+def _lossy_window_plan(seed: int) -> FaultPlan:
+    # 15 % loss on the flood pair for 350 us, then a clean tail.
+    return FaultPlan(seed=seed).drop_window(
+        at_ns=us(50), duration_ns=us(350), probability=0.15, lids=(0, 1)
+    )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "receiver-stall": Scenario(
+        "receiver-stall",
+        "2-rank eager burst into a descheduled (slow-consumer) receiver",
+        nranks=2,
+        prepost=4,
+        # Burst sized to prepost + optimistic headroom: user-level senders
+        # absorb it exactly (4 paid sends + 3 rendezvous RTSs), while the
+        # hardware scheme overruns its 4 posted buffers and storms.
+        make_program=lambda: _flood_program(msgs=7, msg_bytes=1024),
+        make_plan=_receiver_stall_plan,
+    ),
+    "flappy-link": Scenario(
+        "flappy-link",
+        "4-rank ring exchange; one host link flaps down twice",
+        nranks=4,
+        prepost=8,
+        make_program=lambda: _ring_program(rounds=40, msg_bytes=512),
+        make_plan=_flappy_link_plan,
+    ),
+    "lossy-window": Scenario(
+        "lossy-window",
+        "2-rank eager flood through a 15% probabilistic drop window",
+        nranks=2,
+        prepost=8,
+        make_program=lambda: _flood_program(msgs=150, msg_bytes=1024),
+        make_plan=_lossy_window_plan,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# the chaos harness
+# ----------------------------------------------------------------------
+def run_chaos(
+    scenario: str,
+    seed: int = 7,
+    schemes: Iterable[str] = SCHEMES,
+    prepost: Optional[int] = None,
+) -> Dict:
+    """Run ``schemes`` under the named scenario; returns the robustness
+    report as a plain dict (deterministic content for a fixed seed)."""
+    try:
+        sc = SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r} (know {sorted(SCENARIOS)})"
+        ) from None
+    depth = sc.prepost if prepost is None else prepost
+    plan_end = sc.make_plan(seed).end_ns
+    report: Dict = {
+        "scenario": sc.name,
+        "description": sc.description,
+        "seed": seed,
+        "nranks": sc.nranks,
+        "prepost": depth,
+        "fault_window_us": to_us(plan_end),
+        "schemes": {},
+    }
+    for scheme in schemes:
+        plan = sc.make_plan(seed)  # fresh plan (and RNG) per run
+        try:
+            result = run_job(
+                sc.make_program(), sc.nranks, scheme, depth, faults=plan
+            )
+        except Exception as exc:  # deterministic failures are part of the report
+            report["schemes"][scheme] = {
+                "completed": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+            continue
+        fc = result.fc
+        summary = result.tracer.summary()
+        report["schemes"][scheme] = {
+            "completed": True,
+            "elapsed_us": result.elapsed_us,
+            "recovery_us": to_us(max(0, result.elapsed_ns - plan_end)),
+            "retransmissions": fc.retransmissions,
+            "rnr_naks": fc.rnr_naks,
+            "backlog_max": fc.backlog_max,
+            "backlogged_msgs": fc.backlogged_msgs,
+            "rndv_fallbacks": fc.rndv_fallbacks,
+            "ecm_msgs": fc.ecm_msgs,
+            "faults": {
+                name: total
+                for name, total in summary.items()
+                if name.startswith("faults.")
+            },
+        }
+    return report

@@ -53,6 +53,9 @@ class Fabric:
         self._ser_cache: Dict[int, tuple] = {}  # payload -> (wire, ser)
         self._lo_cache: Dict[int, int] = {}  # payload -> loopback ser
         self._ctrl_remote_ns: Optional[int] = None
+        #: Optional :class:`repro.faults.injector.FabricFaultState`.  Left
+        #: ``None`` on healthy runs so the hot path pays one identity check.
+        self.fault = None
         # observability
         self.messages_sent = 0
         self.payload_bytes = 0
@@ -127,6 +130,16 @@ class Fabric:
             self._schedule_delivery(arrival, self._deliver_cb[dst_lid], message)
             return arrival
 
+        extra = 0
+        fault = self.fault
+        if fault is not None:
+            verdict = fault.on_data(src_lid, dst_lid, payload_bytes)
+            if verdict is None:
+                return now  # lost on the wire: never reaches the far HCA
+            extra, scale = verdict
+        else:
+            scale = 0
+
         cached = self._ser_cache.get(payload_bytes)
         if cached is None:
             wire = cfg.wire_bytes(payload_bytes)
@@ -134,6 +147,8 @@ class Fabric:
             cached = self._ser_cache[payload_bytes] = (wire, ser)
         wire, ser = cached
         self.wire_bytes += wire
+        if scale:
+            ser = max(1, int(ser * scale))  # degraded-link serialisation
 
         # host -> switch link (FIFO)
         start_up = max(now, self._up_busy[src_lid])
@@ -144,7 +159,7 @@ class Fabric:
         start_down = max(head_at_output, self._down_busy[dst_lid])
         self._down_busy[dst_lid] = start_down + ser
 
-        arrival = start_down + ser + cfg.link_prop_ns
+        arrival = start_down + ser + cfg.link_prop_ns + extra
         # Open-coded _schedule_delivery (this is the per-packet hot path;
         # arrival > now always: ser >= 1 and link_prop_ns >= 0).
         sim = self.sim
@@ -183,7 +198,13 @@ class Fabric:
         """Deliver a control packet (uncontended fixed-latency path)."""
         self.control_msgs += 1
         sim = self.sim
-        arrival = sim.now + self.control_path_ns(src_lid, dst_lid)
+        extra = 0
+        fault = self.fault
+        if fault is not None:
+            extra = fault.on_control(src_lid, dst_lid)
+            if extra is None:
+                return sim.now  # link down: ACK/NAK/credit update lost
+        arrival = sim.now + self.control_path_ns(src_lid, dst_lid) + extra
         # Open-coded call_at (per-ACK/credit-update hot path).
         seq = sim._seq = sim._seq + 1
         if arrival == sim.now:

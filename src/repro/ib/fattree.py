@@ -74,9 +74,21 @@ class FatTreeFabric(Fabric):
             self.sim.schedule_at(arrival, self._lids[dst_lid]._deliver, message)
             return arrival
 
+        extra = 0
+        fault = self.fault
+        if fault is not None:
+            verdict = fault.on_data(src_lid, dst_lid, payload_bytes)
+            if verdict is None:
+                return now  # lost on the wire
+            extra, scale = verdict
+        else:
+            scale = 0
+
         wire = cfg.wire_bytes(payload_bytes)
         self.wire_bytes += wire
         ser = transfer_ns(wire, cfg.effective_bytes_per_ns())
+        if scale:
+            ser = max(1, int(ser * scale))
         src_leaf, dst_leaf = self.leaf_of(src_lid), self.leaf_of(dst_lid)
 
         # host -> leaf
@@ -101,7 +113,7 @@ class FatTreeFabric(Fabric):
         # leaf -> host
         start_down = max(head, self._down_busy[dst_lid])
         self._down_busy[dst_lid] = start_down + ser
-        arrival = start_down + ser + cfg.link_prop_ns
+        arrival = start_down + ser + cfg.link_prop_ns + extra
         self.sim.schedule_at(arrival, self._lids[dst_lid]._deliver, message)
         self.tracer.record(now, "fabric.tx", src_lid, dst_lid, payload_bytes, arrival)
         return arrival

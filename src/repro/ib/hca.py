@@ -66,6 +66,9 @@ class HCA:
         # bound-method allocation per scheduling.
         self._pump = self._pump
         self._rx_service = self._rx_service
+        #: (timeout_ns, retry_limit) once a FaultInjector arms transport
+        #: retries; QPs created afterwards (on-demand connections) inherit.
+        self.fault_transport = None
         fabric.attach(lid, self)
 
     # ------------------------------------------------------------------
@@ -92,6 +95,8 @@ class HCA:
             rq_depth=self.config.rq_depth,
         )
         self._qps[qpn] = qp
+        if self.fault_transport is not None:
+            qp.enable_transport_retry(*self.fault_transport)
         return qp
 
     def qp(self, qpn: int) -> QueuePair:
@@ -105,6 +110,16 @@ class HCA:
 
     def dereg_mr(self, mr: MemoryRegion) -> None:
         self.mrs.deregister(mr)
+
+    def pause(self, duration_ns: int) -> None:
+        """Fault hook: freeze both engines for ``duration_ns``.  In-flight
+        wire traffic still lands (the adapter's input buffering absorbs it);
+        service resumes once the busy horizons pass."""
+        resume = self.sim.now + int(duration_ns)
+        if resume > self._send_busy:
+            self._send_busy = resume
+        if resume > self._recv_busy:
+            self._recv_busy = resume
 
     # ------------------------------------------------------------------
     # send engine

@@ -120,6 +120,22 @@ class QueuePair:
         self._expected_msn = 0
         self._advertised_zero = False  # last ack advertised 0 credits
 
+        # --- fault-mode transport reliability (armed by repro.faults) ---
+        # An ideal fabric never loses a message, so the seed transport has
+        # no ACK-timeout machinery; with a FaultInjector installed, wire
+        # drops are possible and the QP runs a real RC local-ACK-timeout
+        # timer: no requester progress for a full period means the oldest
+        # unacked message was lost, so replay from it (bounded retries).
+        self._xport_enabled = False
+        self._xport_timeout_ns = 0
+        self._xport_limit = INFINITE_RETRY
+        self._xport_timer = None
+        self._xport_acks = 0  # requester progress marker (ACKs absorbed)
+        self._xport_seen = 0  # progress at the last timer expiry
+        #: fault mode: re-acknowledge stale duplicates (their ACK was lost
+        #: on the wire) instead of dropping them silently
+        self.reack_stale = False
+
         # --- observability ---
         self.rnr_naks_received = 0
         self.rnr_naks_sent = 0
@@ -229,6 +245,11 @@ class QueuePair:
             self._sends_inflight += 1
             if self._credit_est is not None:
                 self._credit_est -= 1
+        if self._xport_enabled and self._xport_timer is None:
+            self._xport_seen = self._xport_acks
+            self._xport_timer = self.hca.sim.schedule(
+                self._xport_timeout_ns, self._xport_expire
+            )
         return wr
 
     def _make_message(self, wr: SendWR) -> _Message:
@@ -242,6 +263,7 @@ class QueuePair:
         wr = self._inflight.pop(msn, None)
         if wr is None:
             return  # duplicate / stale ACK from a replay era
+        self._xport_acks += 1
         if wr.opcode is Opcode.SEND:
             self._sends_inflight -= 1
         if msn > self._credit_est_msn:
@@ -311,10 +333,67 @@ class QueuePair:
         # injection gate).
         self.hca._kick(self)
 
+    # ------------------------------------------------------------------
+    # requester: transport (ACK timeout) retries — fault mode only
+    # ------------------------------------------------------------------
+    def enable_transport_retry(self, timeout_ns: int, retry_limit: int) -> None:
+        """Arm the RC local-ACK-timeout timer (used by ``repro.faults``
+        when the fabric may drop messages or acknowledgements).  With
+        ``retry_limit = INFINITE_RETRY`` the QP replays forever; otherwise
+        the oldest message errors out with ``WCStatus.RETRY_EXCEEDED``
+        after ``retry_limit`` fruitless timeout periods."""
+        self._xport_enabled = True
+        self._xport_timeout_ns = int(timeout_ns)
+        self._xport_limit = retry_limit
+        self.reack_stale = True
+
+    def _xport_expire(self) -> None:
+        self._xport_timer = None
+        if self.state is not QPState.READY or not self._inflight:
+            return  # re-armed on the next injection
+        if self._rnr_waiting or self._xport_acks != self._xport_seen:
+            # RNR recovery is already driving a replay, or ACKs arrived
+            # during the period — keep watching, don't retransmit.
+            self._xport_seen = self._xport_acks
+            self._xport_timer = self.hca.sim.schedule(
+                self._xport_timeout_ns, self._xport_expire
+            )
+            return
+        # A full timeout with zero progress: the oldest unacked message (or
+        # its ACK) was lost on the wire.  Retry accounting is per-WR.
+        oldest = min(self._inflight)
+        wr = self._inflight[oldest]
+        tries = wr.xport_tries + 1
+        wr.xport_tries = tries
+        self.hca.tracer.count(
+            "faults.transport_timeout", (self.hca.lid, self.remote_lid)
+        )
+        if self._xport_limit != INFINITE_RETRY and tries > self._xport_limit:
+            del self._inflight[oldest]
+            if wr.opcode is Opcode.SEND:
+                self._sends_inflight -= 1
+            self._fatal(wr, WCStatus.RETRY_EXCEEDED)
+            return
+        # Replay every unacked message in MSN order (go-back-N: later
+        # messages were discarded by the responder's in-order filter).
+        for msn in sorted(self._inflight, reverse=True):
+            w = self._inflight.pop(msn)
+            if w.opcode is Opcode.SEND:
+                self._sends_inflight -= 1
+                if self._credit_est is not None:
+                    self._credit_est += 1
+            self._sq.appendleft(w)
+        self._xport_seen = self._xport_acks
+        self._xport_timer = self.hca.sim.schedule(
+            self._xport_timeout_ns, self._xport_expire
+        )
+        self.hca._kick(self)
+
     def _on_read_response(self, msg: _Message) -> None:
         wr = self._inflight.pop(msg.read_wr_msn, None)
         if wr is None:
             return
+        self._xport_acks += 1
         if wr.signaled:
             self.send_cq.push(
                 WC(
@@ -341,6 +420,9 @@ class QueuePair:
         if self._rnr_timer_ev is not None:
             self._rnr_timer_ev.cancel()
             self._rnr_timer_ev = None
+        if self._xport_timer is not None:
+            self._xport_timer.cancel()
+            self._xport_timer = None
         self.send_cq.push(
             WC(
                 wr_id=wr.wr_id,
@@ -387,6 +469,20 @@ class QueuePair:
         if msg.msn != self._expected_msn:
             # Stale duplicate from a replay era (msn < expected) or an
             # out-of-order packet after a NAK (msn > expected): discard.
+            # In fault mode a stale duplicate means the original *ACK* was
+            # lost on the wire — re-acknowledge it, or the requester's
+            # transport timer replays forever.
+            if self.reack_stale and msg.msn < self._expected_msn:
+                if msg.opcode is Opcode.RDMA_READ:
+                    try:
+                        mr = self.hca.mrs.check_remote(
+                            msg.rkey, msg.remote_addr, msg.length
+                        )
+                    except RemoteAccessError:
+                        return
+                    self.hca._respond_read(self, msg, mr)
+                else:
+                    self._ack(msg)
             return
 
         if msg.opcode is Opcode.SEND:

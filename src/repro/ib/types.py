@@ -30,6 +30,7 @@ class WCStatus(enum.Enum):
     LOCAL_PROTECTION_ERROR = "local_protection_error"
     REMOTE_ACCESS_ERROR = "remote_access_error"
     RNR_RETRY_EXCEEDED = "rnr_retry_exceeded"
+    RETRY_EXCEEDED = "retry_exceeded"  # transport (ACK-timeout) retries spent
     WR_FLUSH_ERROR = "wr_flush_error"
 
 

@@ -51,6 +51,7 @@ class SendWR:
     # transport bookkeeping (assigned by the QP; not caller-visible)
     msn: int = field(default=-1, repr=False)
     rnr_tries: int = field(default=0, repr=False)
+    xport_tries: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.length < 0:

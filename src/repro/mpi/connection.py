@@ -47,6 +47,7 @@ class ConnStats:
     data_msgs_sent: int = 0  # eager payloads + rendezvous transfers
     ecm_sent: int = 0  # explicit credit messages (Table 1)
     backlogged: int = 0  # sends that went through the backlog
+    backlog_max: int = 0  # high-water backlog depth (robustness metric)
     rndv_fallbacks: int = 0  # small sends converted to rendezvous
     max_prepost: int = 0  # high-water prepost_target (Table 2)
     credit_stalled_ns: int = 0  # cumulative head-of-backlog wait
@@ -116,6 +117,8 @@ class Connection:
         slots, not WQEs; the posted WQEs only serve optimistic control
         traffic and stay at a small fixed budget.
         """
+        if self.endpoint._stall_until > self.endpoint.sim.now:
+            return 0  # receiver stalled (fault injection): no reposts
         if self.rdma_eager:
             budget = self.endpoint.config.rdma_control_bufs
         else:

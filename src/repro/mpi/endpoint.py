@@ -103,6 +103,12 @@ class Endpoint:
         #: armed waiter for RDMA-ring arrivals (the spin-loop stand-in)
         self._ring_notify = None
         self.finalized = False
+        # --- fault injection (repro.faults): slow-consumer throttling ---
+        #: while ``sim.now < _stall_until`` this rank neither re-posts vbufs
+        #: nor returns paid credits — the starved-receiver model.
+        self._stall_until = 0
+        #: peer -> paid credits withheld during the stall window
+        self._stall_held: Dict[int, int] = {}
         # shared immutable waitables for the fixed per-call costs (the
         # progress hot path yields these thousands of times per run)
         self._t_call = Timeout(config.call_overhead_ns)
@@ -541,6 +547,16 @@ class Endpoint:
     def _poll_busy(self) -> Generator:
         """The non-idle tail of :meth:`_poll_once` (poll overhead already
         charged by the caller)."""
+        if self._stall_until > self.sim.now:
+            # Fault model: a stalled (descheduled) consumer handles no
+            # completions at all — arrivals pile up in the CQ, posted
+            # vbufs are consumed and never replenished, and no credits
+            # or rendezvous replies leave this rank until the window
+            # closes.  This is the paper's slow-receiver stressor: the
+            # hardware scheme's sender keeps pushing into the shrinking
+            # receive queue and degenerates into RNR timeout storms,
+            # while user-level senders park the overflow in the backlog.
+            return
         cq = self.cq
         while True:
             progressed = False
@@ -671,7 +687,16 @@ class Endpoint:
         pinned in the unexpected queue, the buffer was replaced but the
         paid credit must still return.  Only an *over*-full population
         (decay contraction) swallows the credit.
+
+        During a fault-injected receiver stall the vbuf stays consumed and
+        the paid credit is withheld; :meth:`fault_release_stall` settles
+        both once the window closes.
         """
+        if self._stall_until > self.sim.now:
+            if paid:
+                self._stall_held[conn.peer] = self._stall_held.get(conn.peer, 0) + 1
+            self.tracer.count("faults.stall_deferred", conn.peer)
+            return self._drain(conn) if conn.backlog else 0
         cost = 0
         cap = conn.prepost_target + conn.headroom
         reposted = False
@@ -858,10 +883,14 @@ class Endpoint:
                 "with no matching receive posted"
             )
 
-        # slot freed -> credit grant
-        conn.pending_credit_return += 1
-        if self.scheme.should_send_ecm(conn):
-            cost += self._emit_ecm(conn)
+        # slot freed -> credit grant (withheld while a fault stall is on)
+        if self._stall_until > self.sim.now:
+            self._stall_held[conn.peer] = self._stall_held.get(conn.peer, 0) + 1
+            self.tracer.count("faults.stall_deferred", conn.peer)
+        else:
+            conn.pending_credit_return += 1
+            if self.scheme.should_send_ecm(conn):
+                cost += self._emit_ecm(conn)
 
         # dynamic growth: the two-sided resize (paper §7)
         self.scheme.on_recv_header(conn, h)
@@ -908,6 +937,9 @@ class Endpoint:
     def _enqueue_backlog(self, conn: Connection, pending: PendingSend) -> None:
         conn.backlog.append(pending)
         conn.stats.backlogged += 1
+        depth = len(conn.backlog)
+        if depth > conn.stats.backlog_max:
+            conn.stats.backlog_max = depth
         self._backlogged.add(conn.peer)
 
     def _drain_backlogged(self) -> int:
@@ -1028,6 +1060,42 @@ class Endpoint:
         op.cts_sent = True
         cost += self._emit(conn, cts, "ctl", None, control=True)
         return cost
+
+    # ------------------------------------------------------------------
+    # fault-injection hooks (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def fault_stall(self, duration_ns: int) -> None:
+        """Start (or extend) a receiver-stall window: the rank stops
+        re-posting vbufs and withholds paid credit returns, modelling a
+        slow consumer that starves the sender (paper §3.2 / Figure 10)."""
+        until = self.sim.now + int(duration_ns)
+        if until > self._stall_until:
+            self._stall_until = until
+
+    def fault_release_stall(self) -> int:
+        """End of a stall window: refill every connection's buffer
+        population and return the withheld credits, announcing them with an
+        ECM so credit-blocked senders wake promptly.  Returns the number of
+        credits released (0 if a longer overlapping stall is still open)."""
+        if self._stall_until > self.sim.now:
+            return 0
+        held, self._stall_held = self._stall_held, {}
+        released = 0
+        for peer in sorted(self.connections):
+            conn = self.connections[peer]
+            conn.refill_recv_buffers()
+            paid = held.get(peer, 0)
+            if paid:
+                conn.pending_credit_return += paid
+                released += paid
+                self.tracer.count("faults.stall_released", peer, paid)
+            if (
+                conn.pending_credit_return
+                and self.scheme.uses_credits
+                and self._pool_ok(control=True)
+            ):
+                self._emit_ecm(conn)
+        return released
 
     # ------------------------------------------------------------------
     # misc helpers

@@ -38,6 +38,11 @@ class Counter:
     def items(self) -> Iterable[Tuple[Any, int]]:
         return self.values.items()
 
+    def snapshot(self) -> Dict[Any, int]:
+        """A plain (non-default) dict copy of the per-key values — safe to
+        serialise, diff, or mutate without touching the live counter."""
+        return dict(self.values)
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Counter {self.name} total={self.total()}>"
 
@@ -115,6 +120,20 @@ class Tracer:
     def summary(self) -> Dict[str, int]:
         """Total of every counter — convenient for assertions and reports."""
         return {name: c.total() for name, c in sorted(self.counters.items())}
+
+    def __iter__(self):
+        """Iterate counters in sorted-name order.
+
+        Registration order depends on which layer fired first, which can
+        differ between schemes/runs; sorted iteration keeps chaos reports
+        and baseline-file diffs stable.
+        """
+        for name in sorted(self.counters):
+            yield self.counters[name]
+
+    def snapshot(self) -> Dict[str, Dict[Any, int]]:
+        """Per-key values of every counter, sorted by counter name."""
+        return {c.name: c.snapshot() for c in self}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Tracer counters={len(self.counters)} records={len(self.records)}>"

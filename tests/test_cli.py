@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.cli import build_parser, main
 
 
@@ -85,13 +83,25 @@ def test_perf_check_fails_on_determinism_drift(tmp_path, capsys):
     assert "determinism" in capsys.readouterr().err
 
 
-def test_unknown_command_rejected():
-    with pytest.raises(SystemExit):
-        main(["teleport"])
+def test_unknown_command_exits_2(capsys):
+    # No exception escapes: argparse's error is surfaced as exit code 2
+    # with the usage text on stderr.
+    assert main(["teleport"]) == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+def test_no_command_prints_usage_and_exits_2(capsys):
+    assert main([]) == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+def test_help_exits_0(capsys):
+    assert main(["--help"]) == 0
+    assert "chaos" in capsys.readouterr().out
 
 
 def test_parser_help_lists_commands():
     parser = build_parser()
     help_text = parser.format_help()
-    for cmd in ("latency", "bandwidth", "nas", "scaling"):
+    for cmd in ("latency", "bandwidth", "nas", "scaling", "chaos"):
         assert cmd in help_text

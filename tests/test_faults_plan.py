@@ -1,0 +1,100 @@
+"""Tests for the pure-data side of fault injection: FaultPlan/FaultEvent
+builders, validation, and the declarative dict/JSON specs."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan, FaultPlanError
+from repro.ib.types import INFINITE_RETRY
+from repro.sim.units import us
+
+
+def build_full_plan(seed=7):
+    return (
+        FaultPlan(seed=seed)
+        .link_flap(lid=2, at_ns=us(10), duration_ns=us(50))
+        .link_degrade(lid=1, at_ns=us(20), duration_ns=us(30),
+                      extra_latency_ns=2_000, bw_factor=0.5)
+        .drop_window(at_ns=us(5), duration_ns=us(100), probability=0.25,
+                     lids=(0, 1), corrupt=True)
+        .receiver_stall(rank=1, at_ns=us(40), duration_ns=us(200))
+        .hca_pause(lid=0, at_ns=us(15), duration_ns=us(25))
+    )
+
+
+def test_builders_chain_and_accumulate():
+    plan = build_full_plan()
+    assert [ev.kind for ev in plan.events] == [
+        "link_flap", "link_degrade", "drop_window", "receiver_stall", "hca_pause",
+    ]
+    plan.validate()  # every builder-produced event is valid
+
+
+def test_end_ns_is_last_window_close():
+    plan = build_full_plan()
+    assert plan.end_ns == us(40) + us(200)  # the receiver stall ends last
+    assert FaultPlan().end_ns == 0
+
+
+@pytest.mark.parametrize("bad", [
+    lambda: FaultEvent("cosmic_ray", 0, 1).validate(),
+    lambda: FaultEvent("link_flap", -1, 1, lid=0).validate(),
+    lambda: FaultEvent("link_flap", 0, 0, lid=0).validate(),
+    lambda: FaultEvent("link_flap", 0, 1).validate(),            # no lid
+    lambda: FaultEvent("receiver_stall", 0, 1).validate(),       # no rank
+    lambda: FaultEvent("drop_window", 0, 1, probability=0.0).validate(),
+    lambda: FaultEvent("drop_window", 0, 1, probability=1.5).validate(),
+    lambda: FaultEvent("link_degrade", 0, 1, lid=0).validate(),  # degrades nothing
+    lambda: FaultEvent("link_degrade", 0, 1, lid=0, bw_factor=-1.0).validate(),
+])
+def test_invalid_events_rejected(bad):
+    with pytest.raises(FaultPlanError):
+        bad()
+
+
+def test_add_validates_eagerly():
+    with pytest.raises(FaultPlanError):
+        FaultPlan().add(FaultEvent("link_flap", 0, 1))  # missing lid
+
+
+def test_spec_round_trip_preserves_everything():
+    plan = build_full_plan(seed=42)
+    clone = FaultPlan.from_spec(plan.to_spec())
+    assert clone.seed == 42
+    assert clone.transport_timeout_ns == plan.transport_timeout_ns
+    assert clone.transport_retry_limit == INFINITE_RETRY
+    assert clone.events == plan.events
+
+
+def test_json_round_trip():
+    plan = build_full_plan(seed=9)
+    plan.transport_retry_limit = 5
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone == plan
+
+
+def test_event_spec_omits_defaults():
+    spec = FaultEvent("link_flap", us(1), us(2), lid=3).to_spec()
+    assert spec == {"kind": "link_flap", "at_ns": us(1),
+                    "duration_ns": us(2), "lid": 3}
+
+
+def test_unknown_event_field_rejected():
+    with pytest.raises(FaultPlanError):
+        FaultEvent.from_spec({"kind": "link_flap", "at_ns": 0,
+                              "duration_ns": 1, "lid": 0, "blast_radius": 9})
+
+
+def test_unknown_plan_field_rejected():
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_spec({"seed": 1, "events": [], "chaos_level": "max"})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_spec(["not", "a", "dict"])
+
+
+def test_spec_lids_listified_and_restored_as_tuple():
+    plan = FaultPlan().drop_window(at_ns=0, duration_ns=1,
+                                   probability=0.5, lids=[3, 4])
+    spec = plan.to_spec()
+    assert spec["events"][0]["lids"] == [3, 4]  # JSON-friendly
+    clone = FaultPlan.from_spec(spec)
+    assert clone.events[0].lids == (3, 4)

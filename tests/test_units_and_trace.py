@@ -102,3 +102,33 @@ def test_tracer_counter_identity_cached():
     t = Tracer()
     assert t.counter("a") is t.counter("a")
     assert t.gauge("g") is t.gauge("g")
+
+
+def test_counter_snapshot_is_a_plain_detached_dict():
+    c = Counter("x")
+    c.add("k", 2)
+    snap = c.snapshot()
+    assert type(snap) is dict and snap == {"k": 2}
+    # Detached: mutating the snapshot never touches the live counter,
+    # and reading a missing key doesn't materialise it (defaultdict would).
+    snap["k"] = 99
+    snap["ghost"] = 1
+    assert c.get("k") == 2
+    assert "ghost" not in c.values
+    assert c.snapshot() == {"k": 2}
+
+
+def test_tracer_iterates_counters_in_sorted_name_order():
+    t = Tracer()
+    for name in ("zz.last", "aa.first", "mm.middle"):
+        t.count(name)
+    assert [c.name for c in t] == ["aa.first", "mm.middle", "zz.last"]
+
+
+def test_tracer_snapshot_nested_and_sorted():
+    t = Tracer()
+    t.count("b.counter", ("x", "y"), 3)
+    t.count("a.counter", None, 1)
+    snap = t.snapshot()
+    assert list(snap) == ["a.counter", "b.counter"]
+    assert snap["b.counter"] == {("x", "y"): 3}

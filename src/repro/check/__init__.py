@@ -1,0 +1,12 @@
+"""Runtime verification for the flow-control reproduction.
+
+``repro.check`` holds the pluggable invariant auditor (credit
+conservation, buffer leases, backlog FIFO, matching order, progress
+watchdog — see :mod:`repro.check.auditor`) and the cross-scheme
+differential fuzz harness (:mod:`repro.check.fuzz`, driven by
+``python -m repro fuzz``).
+"""
+
+from repro.check.auditor import Auditor, InvariantViolation
+
+__all__ = ["Auditor", "InvariantViolation"]

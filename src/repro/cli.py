@@ -192,6 +192,54 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.check import fuzz
+
+    if args.replay:
+        try:
+            with open(args.replay) as fh:
+                artifact = json.load(fh)
+        except (OSError, ValueError) as err:
+            print(f"error: cannot read artifact {args.replay}: {err}",
+                  file=sys.stderr)
+            return 2
+        comparison = fuzz.replay(artifact)
+        return 1 if comparison["failure"] is not None else 0
+
+    scenarios = [None if s == "none" else s for s in args.scenarios]
+    summary = fuzz.run_fuzz(
+        seed=args.seed,
+        runs=args.runs,
+        schemes=tuple(args.schemes),
+        scenarios=scenarios,
+        out_dir=args.out_dir,
+        max_shrink=args.max_shrink,
+    )
+    if args.check:
+        rerun = fuzz.run_fuzz(
+            seed=args.seed,
+            runs=args.runs,
+            schemes=tuple(args.schemes),
+            scenarios=scenarios,
+            out_dir="",  # artifacts from the first pass suffice
+            max_shrink=args.max_shrink,
+            log=None,
+        )
+        if summary["digests"] != rerun["digests"]:
+            print("DETERMINISM DRIFT: two identical fuzz runs disagree",
+                  file=sys.stderr)
+            return 1
+        print("determinism check passed (two runs bit-identical)",
+              file=sys.stderr)
+    if summary["failures"]:
+        print(f"{len(summary['failures'])}/{args.runs} runs failed; replay "
+              f"artifacts in {args.out_dir}/", file=sys.stderr)
+        return 1
+    print(f"all {args.runs} runs passed: delivered multisets identical "
+          f"across {', '.join(args.schemes)}; 0 invariant violations")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -265,6 +313,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="run twice and exit 1 unless bit-identical")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="cross-scheme differential fuzzing with the invariant "
+             "auditor armed (repro.check)",
+    )
+    p.add_argument("--seed", type=int, default=1,
+                   help="base workload seed (run k uses seed+k)")
+    p.add_argument("--runs", type=int, default=25,
+                   help="number of seeded workloads")
+    p.add_argument("--schemes", nargs="+", default=list(SCHEMES),
+                   choices=SCHEMES, help="schemes every workload runs under")
+    p.add_argument("--scenarios", nargs="+",
+                   default=["none", "receiver-stall", "lossy-window"],
+                   choices=["none", "receiver-stall", "lossy-window"],
+                   help="fault scenarios cycled across runs")
+    p.add_argument("--out-dir", default="fuzz-failures",
+                   help="where minimized replay artifacts land ('' to skip)")
+    p.add_argument("--max-shrink", type=int, default=200,
+                   help="rerun budget for minimizing a failing workload")
+    p.add_argument("--replay", default=None, metavar="FILE",
+                   help="re-run a failure artifact; exit 1 if it reproduces")
+    p.add_argument("--check", action="store_true",
+                   help="run the sweep twice and exit 1 unless bit-identical")
+    p.set_defaults(fn=cmd_fuzz)
 
     return parser
 

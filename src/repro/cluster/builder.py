@@ -44,6 +44,7 @@ class Cluster:
         ]
         self.endpoints: List[Endpoint] = []
         self.cm = None  # set when launched with on_demand=True
+        self.auditor = None  # repro.check.Auditor, when attached
 
     # ------------------------------------------------------------------
     def node_of_rank(self, rank: int) -> int:
@@ -118,6 +119,13 @@ class Cluster:
                             a.connections[b.rank], b.connections[a.rank]
                         )
         return self.endpoints
+
+    def reset_stats(self) -> None:
+        """Zero the observability counters between jobs on a reused
+        cluster (see :func:`repro.core.stats.reset_counters`)."""
+        from repro.core.stats import reset_counters
+
+        reset_counters(self.endpoints)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Cluster nodes={self.config.nodes} ranks={len(self.endpoints)}>"

@@ -42,6 +42,8 @@ class JobResult:
     tracer: Any = field(repr=False, default=None)
     #: unordered pairs wired by the connection manager (None = static mesh)
     connections_established: Optional[int] = None
+    #: the runtime invariant auditor, when the job ran with ``audit=``
+    audit: Any = field(repr=False, default=None)
 
     @property
     def elapsed_us(self) -> float:
@@ -63,6 +65,8 @@ def run_job(
     on_demand: bool = False,
     max_events: int = MAX_JOB_EVENTS,
     faults: Optional[Any] = None,
+    audit: Union[bool, Any] = False,
+    cluster: Optional[Cluster] = None,
 ) -> JobResult:
     """Build a cluster, run ``program`` on every rank, return the result.
 
@@ -87,11 +91,51 @@ def run_job(
     faults:
         A :class:`repro.faults.FaultPlan` (or declarative spec dict) of
         deterministic fault events to inject while the job runs.
+    audit:
+        ``True`` to run under a fresh :class:`repro.check.Auditor`, or a
+        pre-built auditor instance.  Invariant violations raise
+        :class:`repro.check.InvariantViolation`; the attached auditor is
+        returned on ``JobResult.audit``.
+    cluster:
+        Reuse an already-launched cluster instead of building a fresh one
+        (the scheme/nranks must match what it was launched with).  Its
+        observability counters are reset so the result reports this job
+        only.
     """
     if not isinstance(scheme, FlowControlScheme):
         scheme = make_scheme(scheme)
-    cluster = Cluster(config, trace=trace)
-    endpoints = cluster.launch(nranks, scheme, prepost, on_demand=on_demand)
+
+    if cluster is None:
+        cluster = Cluster(config, trace=trace)
+        endpoints = cluster.launch(nranks, scheme, prepost, on_demand=on_demand)
+    else:
+        endpoints = cluster.endpoints
+        if not endpoints:
+            raise RuntimeError("reused cluster was never launched")
+        if len(endpoints) != nranks:
+            raise ValueError(
+                f"reused cluster has {len(endpoints)} ranks, job wants {nranks}"
+            )
+        if endpoints[0].scheme.name is not scheme.name:
+            raise ValueError(
+                f"reused cluster runs scheme {endpoints[0].scheme.name.value!r}, "
+                f"job wants {scheme.name.value!r}"
+            )
+        scheme = endpoints[0].scheme  # the live policy object, not a clone
+        cluster.reset_stats()
+
+    auditor = None
+    if audit:
+        from repro.check import Auditor
+
+        auditor = audit if not isinstance(audit, bool) else Auditor()
+        auditor.attach(cluster)
+    elif cluster.auditor is not None:
+        # a prior audited job on this cluster left hooks armed — disarm
+        cluster.auditor = None
+        for ep in endpoints:
+            ep._audit = None
+
     if faults is not None:
         from repro.faults import FaultInjector, FaultPlan
 
@@ -100,16 +144,17 @@ def run_job(
         FaultInjector(cluster, faults).install()
 
     finish_ns = [0] * nranks
+    t0 = cluster.sim.now  # non-zero on reused clusters
 
     def wrap(ep: Endpoint) -> Generator:
         result = yield from program(ep)
         if finalize:
             yield from ep.finalize()
-        finish_ns[ep.rank] = cluster.sim.now
+        finish_ns[ep.rank] = cluster.sim.now - t0
         return result
 
     procs = [cluster.sim.spawn(wrap(ep), name=f"rank{ep.rank}") for ep in endpoints]
-    cluster.sim.run(max_events=max_events)
+    cluster.sim.run(max_events=cluster.sim.events_executed + max_events)
 
     failed = [p for p in procs if p.failure is not None]
     if failed:
@@ -120,6 +165,9 @@ def run_job(
             f"deadlock: ranks {[p.name for p in hung]} never finished "
             f"(sim time {cluster.sim.now} ns)"
         )
+
+    if auditor is not None:
+        auditor.final_check(expect_quiescent=finalize)
 
     return JobResult(
         scheme=scheme.name.value,
@@ -132,4 +180,5 @@ def run_job(
         endpoints=endpoints,
         tracer=cluster.tracer,
         connections_established=(cluster.cm.established if cluster.cm else None),
+        audit=auditor,
     )

@@ -79,6 +79,35 @@ def collect_report(endpoints: Iterable["Endpoint"]) -> FlowControlReport:
     )
 
 
+def reset_counters(endpoints: Iterable["Endpoint"]) -> None:
+    """Zero every observability counter so a reused cluster starts the
+    next job with a clean slate.
+
+    Reused-cluster runs previously aggregated ConnStats / QP / pool
+    counters across *all* jobs ever run on the builder, so the second
+    ``run_job`` reported inflated tables.  Live protocol state (credits,
+    posted buffers, prepost targets) is deliberately untouched — only
+    the counters that :func:`collect_report` and the analysis layer read.
+    """
+    for ep in endpoints:
+        ep.bytes_sent = 0
+        ep.bytes_received = 0
+        ep.wait_ns = 0
+        pool = ep.pool
+        pool.min_free = pool.free
+        pool.acquisitions = 0
+        pool.releases = 0
+        pool.exhaustion_events = 0
+        for conn in ep.connections.values():
+            conn.reset_stats()
+            qp = conn.qp
+            qp.rnr_naks_received = 0
+            qp.rnr_naks_sent = 0
+            qp.retransmissions = 0
+            qp.messages_sent = 0
+            qp.messages_delivered = 0
+
+
 def per_connection_max_buffers(endpoints: Iterable["Endpoint"]) -> Dict[tuple, int]:
     """(rank, peer) → high-water prepost_target (Table 2 raw data)."""
     out = {}

@@ -131,6 +131,10 @@ class FaultInjector:
             for qp in hca._qps.values():
                 qp.enable_transport_retry(*arm)
         self._check_targets()
+        aud = getattr(cluster, "auditor", None)
+        if aud is not None:
+            # the progress watchdog must not flag fault-induced stalls
+            aud.note_fault_plan(plan)
         sim = cluster.sim
         for ev in plan.events:
             sim.schedule_at(ev.at_ns, self._begin, ev)

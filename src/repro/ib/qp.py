@@ -556,6 +556,43 @@ class QueuePair:
         else:  # pragma: no cover - exhaustive enum
             raise QPError(f"unknown opcode {msg.opcode}")
 
+    # ------------------------------------------------------------------
+    # introspection (used by repro.check)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> list:
+        """Structural self-audit; returns a list of problem strings
+        (empty when healthy).  Cheap — called at end of audited runs."""
+        problems = []
+        if self.outstanding_sends > self.sq_depth:
+            problems.append(
+                f"QP {self.qp_num}: {self.outstanding_sends} outstanding "
+                f"sends exceed sq_depth {self.sq_depth}"
+            )
+        for msn in self._inflight:
+            if msn >= self._next_msn:
+                problems.append(
+                    f"QP {self.qp_num}: inflight msn {msn} >= next_msn "
+                    f"{self._next_msn}"
+                )
+        sends = sum(
+            1 for wr in self._inflight.values() if wr.opcode is Opcode.SEND
+        )
+        if self._sends_inflight != sends:
+            problems.append(
+                f"QP {self.qp_num}: _sends_inflight={self._sends_inflight} "
+                f"but {sends} SEND WRs are inflight"
+            )
+        if len(self._rq) > self.rq_depth:
+            problems.append(
+                f"QP {self.qp_num}: {len(self._rq)} posted recvs exceed "
+                f"rq_depth {self.rq_depth}"
+            )
+        if self.state is QPState.ERROR and (self._sq or self._inflight):
+            problems.append(
+                f"QP {self.qp_num}: ERROR state with unflushed work queues"
+            )
+        return problems
+
     def _ack(self, msg: _Message) -> None:
         advertised = len(self._rq)
         self._advertised_zero = advertised == 0

@@ -37,6 +37,7 @@ class SendBufferPool:
         # observability
         self.min_free = count
         self.acquisitions = 0
+        self.releases = 0
         self.exhaustion_events = 0
 
     def try_acquire(self) -> bool:
@@ -54,6 +55,7 @@ class SendBufferPool:
         if self.free >= self.capacity:
             raise BufferPoolError("release without matching acquire")
         self.free += 1
+        self.releases += 1
         # Wake exactly one parked waiter per freed buffer, in FIFO order.
         # Waking the whole wait-list here would stampede every parked
         # sender at the same instant for a single buffer (all but one
@@ -74,6 +76,11 @@ class SendBufferPool:
     @property
     def in_use(self) -> int:
         return self.capacity - self.free
+
+    @property
+    def waiting(self) -> int:
+        """Senders currently parked on :meth:`wait_available`."""
+        return len(self._waiters)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<SendBufferPool {self.free}/{self.capacity} free>"

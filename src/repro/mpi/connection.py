@@ -109,6 +109,11 @@ class Connection:
         if n > self.stats.max_prepost:
             self.stats.max_prepost = n
 
+    def reset_stats(self) -> None:
+        """Fresh counters for a new job on a reused cluster."""
+        self.stats = ConnStats()
+        self.stats.max_prepost = self.prepost_target
+
     def refill_recv_buffers(self) -> int:
         """Post receive vbufs up to the budget; returns how many were
         posted (the endpoint charges the CPU cost).

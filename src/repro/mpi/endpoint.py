@@ -113,6 +113,10 @@ class Endpoint:
         # progress hot path yields these thousands of times per run)
         self._t_call = Timeout(config.call_overhead_ns)
         self._t_poll = Timeout(config.poll_overhead_ns)
+        #: runtime invariant auditor (repro.check); None = disabled, and
+        #: every hook site below is guarded so the disabled cost is one
+        #: attribute load + None test.
+        self._audit = None
 
         # observability
         self.bytes_sent = 0
@@ -150,6 +154,8 @@ class Endpoint:
     def _post_recv_vbuf(self, conn: Connection) -> None:
         conn.qp.post_recv(RecvWR(wr_id=conn.peer, capacity=self.config.vbuf_bytes))
         conn.recv_posted += 1
+        if self._audit is not None:
+            self._audit.on_post_recv(conn)
 
     @property
     def now(self) -> int:
@@ -194,6 +200,8 @@ class Endpoint:
         if conn is None:
             conn = yield from self._ensure_connected(dest)
         self.bytes_sent += size
+        if self._audit is not None:
+            self._audit.on_app_send(self.rank, dest, tag, context, size)
         yield self._t_call
 
         cfg = self.config
@@ -212,6 +220,8 @@ class Endpoint:
             # A non-empty backlog forces FIFO (MPI non-overtaking): new
             # sends may not jump the queue even if a credit is available.
             if not conn.backlog and self.scheme.try_consume_credit(conn):
+                if self._audit is not None:
+                    self._audit.on_consume(conn)
                 if conn.rdma_eager:
                     cost = self._emit_ring(conn, header, req)
                 else:
@@ -256,6 +266,8 @@ class Endpoint:
                 paid=True,
             )
             if not conn.backlog and self.scheme.try_consume_credit(conn):
+                if self._audit is not None:
+                    self._audit.on_consume(conn)
                 yield from self._await_pool(control=False)
                 cost = self._emit(conn, header, "ctl", None, control=False)
                 op.rts_sent = True
@@ -295,6 +307,8 @@ class Endpoint:
         unexpected = self.matching.post_recv(posted)
         if unexpected is not None:
             h = unexpected.header
+            if self._audit is not None:
+                self._audit.on_match(h)
             if h.kind is MsgKind.EAGER:
                 self._check_capacity(h, capacity)
                 yield Timeout(self.config.copy_ns(h.size))
@@ -620,6 +634,8 @@ class Endpoint:
 
         if h.credits:
             self.scheme.on_credits_received(conn, h.credits)
+        if self._audit is not None:
+            self._audit.on_deliver(conn, h)
 
         # Dispatch.  ``absorbed`` is False only for unexpected eager data:
         # its payload stays parked in the vbuf until the application posts
@@ -630,6 +646,8 @@ class Endpoint:
         if h.kind is MsgKind.EAGER:
             posted = self.matching.arrived(h, self.sim.now)
             if posted is not None:
+                if self._audit is not None:
+                    self._audit.on_match(h)
                 self._check_capacity(h, posted.capacity)
                 cost += self.config.copy_ns(h.size)  # vbuf -> user buffer
                 self.bytes_received += h.size
@@ -645,6 +663,8 @@ class Endpoint:
         elif h.kind is MsgKind.RNDV_RTS:
             posted = self.matching.arrived(h, self.sim.now)
             if posted is not None:
+                if self._audit is not None:
+                    self._audit.on_match(h)
                 self._check_capacity(h, posted.capacity)
                 cost += self._rndv_recv_start(h, posted)
             # an unexpected RTS is fully parsed here; its vbuf is reusable
@@ -667,7 +687,10 @@ class Endpoint:
             cost += self._repost_after(conn, h.paid)
 
         # Feedback hook (dynamic growth); charges posting of new buffers.
-        grown = self.scheme.on_recv_header(conn, h)
+        if self._audit is not None:
+            grown = self._audit.observe_recv_header(self.scheme, conn, h)
+        else:
+            grown = self.scheme.on_recv_header(conn, h)
         if grown:
             cost += grown * self.config.post_overhead_ns
             if self.scheme.should_send_ecm(conn):
@@ -704,10 +727,17 @@ class Endpoint:
             self._post_recv_vbuf(conn)
             cost += self.config.post_overhead_ns
             reposted = True
-        if paid and (reposted or conn.recv_posted == cap):
-            conn.pending_credit_return += 1
-            if self.scheme.should_send_ecm(conn):
-                cost += self._emit_ecm(conn)
+        if paid:
+            if reposted or conn.recv_posted == cap:
+                conn.pending_credit_return += 1
+                if self._audit is not None:
+                    self._audit.on_grant(conn, 1)
+                if self.scheme.should_send_ecm(conn):
+                    cost += self._emit_ecm(conn)
+            elif self._audit is not None:
+                # over-full population after a decay contraction: the
+                # credit is swallowed (see the docstring above)
+                self._audit.on_swallow(conn)
         if conn.backlog:
             cost += self._drain(conn)
         return cost
@@ -764,6 +794,8 @@ class Endpoint:
             pass  # no vbuf was consumed; the request completed at emission
         elif kind in ("eager", "ctl"):
             self.pool.release()
+            if self._audit is not None:
+                self._audit.on_send_done(self)
         elif kind == "rdma":
             op: RndvSendOp = ref
             op.data_done = True
@@ -830,6 +862,8 @@ class Endpoint:
             conn.stats.ecm_credits += header.credits
         else:
             conn.stats.piggybacked_credits += piggy
+        if self._audit is not None:
+            self._audit.on_emit(conn, header, ctx_kind)
         return cost
 
     def _emit_ring(self, conn: Connection, header: Header, req) -> int:
@@ -857,6 +891,8 @@ class Endpoint:
         conn.stats.piggybacked_credits += piggy
         if req is not None:
             req.complete(Status())
+        if self._audit is not None:
+            self._audit.on_emit(conn, header, "ring")
         return self.config.post_overhead_ns + self.config.copy_ns(header.size)
 
     def _handle_ring_eager(self, conn: Connection, h: Header) -> int:
@@ -870,11 +906,15 @@ class Endpoint:
         conn.seq_in_expected += 1
         if h.credits:
             self.scheme.on_credits_received(conn, h.credits)
+        if self._audit is not None:
+            self._audit.on_deliver(conn, h)
 
         cost += self.config.copy_ns(h.size)  # slot -> user/temp copy
         self.bytes_received += h.size
         posted = self.matching.arrived(h, self.sim.now)
         if posted is not None:
+            if self._audit is not None:
+                self._audit.on_match(h)
             self._check_capacity(h, posted.capacity)
             self._complete_recv(posted.request, h.src, h.tag, h.size, h.payload)
         elif h.ready:
@@ -889,11 +929,16 @@ class Endpoint:
             self.tracer.count("faults.stall_deferred", conn.peer)
         else:
             conn.pending_credit_return += 1
+            if self._audit is not None:
+                self._audit.on_grant(conn, 1)
             if self.scheme.should_send_ecm(conn):
                 cost += self._emit_ecm(conn)
 
         # dynamic growth: the two-sided resize (paper §7)
-        self.scheme.on_recv_header(conn, h)
+        if self._audit is not None:
+            self._audit.observe_recv_header(self.scheme, conn, h)
+        else:
+            self.scheme.on_recv_header(conn, h)
         ch = conn.rx_channel
         if conn.prepost_target > ch.ring.slots:
             ring = ch.grow(conn.prepost_target)
@@ -936,6 +981,8 @@ class Endpoint:
     # ------------------------------------------------------------------
     def _enqueue_backlog(self, conn: Connection, pending: PendingSend) -> None:
         conn.backlog.append(pending)
+        if self._audit is not None:
+            self._audit.on_backlog_enqueue(conn, pending.header)
         conn.stats.backlogged += 1
         depth = len(conn.backlog)
         if depth > conn.stats.backlog_max:
@@ -957,6 +1004,9 @@ class Endpoint:
             if not self.scheme.try_consume_credit(conn):  # pragma: no cover
                 break
             p = conn.backlog.popleft()
+            if self._audit is not None:
+                self._audit.on_consume(conn)
+                self._audit.on_backlog_dequeue(conn, p.header)
             p.header.went_backlog = True
             conn.stats.credit_stalled_ns += self.sim.now - p.enqueue_ns
             if p.header.kind is MsgKind.EAGER:
@@ -974,7 +1024,12 @@ class Endpoint:
             and conn.fallback_inflight < self.scheme.fallback_window
             and self._pool_ok(control=True)
         ):
-            cost += self._start_fallback(conn, conn.backlog.popleft())
+            p = conn.backlog.popleft()
+            if self._audit is not None:
+                # the fallback mints a fresh unpaid RTS; the dequeued
+                # header itself is never emitted
+                self._audit.on_backlog_dequeue(conn, p.header, reemitted=False)
+            cost += self._start_fallback(conn, p)
         if not conn.backlog:
             self._backlogged.discard(conn.peer)
         return cost
@@ -1087,6 +1142,8 @@ class Endpoint:
             paid = held.get(peer, 0)
             if paid:
                 conn.pending_credit_return += paid
+                if self._audit is not None:
+                    self._audit.on_grant(conn, paid)
                 released += paid
                 self.tracer.count("faults.stall_released", peer, paid)
             if (

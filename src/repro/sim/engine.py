@@ -338,6 +338,27 @@ class Simulator:
             if gc_was_enabled:
                 gc.enable()
 
+    def every(self, interval_ns: int, callback: Callable[[], bool]) -> None:
+        """Run ``callback()`` every ``interval_ns`` until it returns falsy.
+
+        The callback decides its own lifetime: returning a truthy value
+        re-arms the timer, returning falsy lets the chain die so the agenda
+        can drain (a perpetual periodic event would keep :meth:`run` alive
+        forever).  Used by the runtime invariant auditor's progress
+        watchdog (``repro.check``), which disarms itself whenever no MPI
+        work is pending and is re-armed by the next application send.
+        """
+        if type(interval_ns) is not int:
+            interval_ns = _as_int_ns(interval_ns, "interval")
+        if interval_ns <= 0:
+            raise SimulationError(f"every() needs a positive interval, got {interval_ns}")
+
+        def tick() -> None:
+            if callback():
+                self.call_later(interval_ns, tick)
+
+        self.call_later(interval_ns, tick)
+
     def peek(self) -> Optional[int]:
         """Time of the next non-cancelled event, or ``None`` if idle."""
         if self._now_q:

@@ -1,28 +1,34 @@
-"""Shared driver for the six bandwidth figures (Figures 3-8)."""
+"""Shared driver for the six bandwidth figures (Figures 3-8).
+
+The grid expands to declarative campaign cells and runs through
+``repro.campaign.run_cells`` — the same runner behind ``repro sweep`` —
+so the figures parallelise with ``REPRO_SWEEP_WORKERS`` and share the
+session result cache.
+"""
 
 from __future__ import annotations
 
 from repro.analysis import Figure
-from repro.cluster import TestbedConfig, run_job
-from repro.workloads import bandwidth_program
+from repro.campaign import grids
 
-from benchmarks.conftest import SCHEMES
+from benchmarks.conftest import SCHEMES, run_grid
 
 WINDOWS = [1, 2, 4, 8, 16, 32, 64, 100]
 
 
 def run_bw_figure(title: str, size: int, prepost: int, blocking: bool,
                   windows=None) -> Figure:
+    specs = grids.bandwidth_grid(
+        schemes=SCHEMES,
+        size=size,
+        windows=windows or WINDOWS,
+        repetitions=10,
+        blocking=blocking,
+        prepost=prepost,
+    )
+    res = run_grid(specs)
     fig = Figure(title, xlabel="window", ylabel="MB/s")
-    cfg = TestbedConfig(nodes=2)
-    for scheme in SCHEMES:
-        for window in windows or WINDOWS:
-            r = run_job(
-                bandwidth_program(size, window, repetitions=10, blocking=blocking),
-                2,
-                scheme,
-                prepost=prepost,
-                config=cfg,
-            )
-            fig.add(scheme, window, r.rank_results[0].mbps)
+    for out in res.outcomes:
+        fig.add(out.spec.params["scheme"], out.spec.params["window"],
+                out.metrics["mbps"])
     return fig

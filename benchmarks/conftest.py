@@ -8,14 +8,32 @@ crossovers are) — never absolute numbers.
 
 from __future__ import annotations
 
+import os
 import pathlib
+from typing import List, Sequence
 
 import pytest
+
+from repro.campaign import CampaignResult, MemoryCache, run_cells
+from repro.campaign.spec import JobSpec
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: The paper's three schemes in presentation order.
 SCHEMES = ("hardware", "static", "dynamic")
+
+#: One result cache per pytest session: figures sharing cells (the NAS
+#: sweep feeds Figure 9, Figure 10 and both tables) run each cell once.
+SESSION_CACHE = MemoryCache()
+
+#: ``REPRO_SWEEP_WORKERS=4 pytest benchmarks/`` fans the figure grids
+#: across worker processes; default stays the sequential reference path.
+SWEEP_WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+
+
+def run_grid(specs: Sequence[JobSpec]) -> CampaignResult:
+    """Run a figure's cells through the campaign orchestrator."""
+    return run_cells(specs, workers=SWEEP_WORKERS, cache=SESSION_CACHE)
 
 
 def save_result(name: str, text: str) -> None:

@@ -1,31 +1,38 @@
 """Shared driver for the NAS figure/table benchmarks (Figures 9-10,
-Tables 1-2).  Results of the expensive runs are cached per (kernel,
-scheme, prepost) within one pytest session so Figure 9, Figure 10 and the
-two tables share a single sweep.
+Tables 1-2).
+
+The full (kernel, scheme, prepost) grid runs through the campaign
+orchestrator; the session cache means Figure 9, Figure 10 and the two
+tables share a single sweep, and ``REPRO_SWEEP_WORKERS`` fans the
+expensive kernels across worker processes.  Cells come back as plain
+metric dicts (``elapsed_ns``/``elapsed_s`` plus the ``fc`` flow-control
+statistics of :meth:`repro.cluster.job.JobResult.fc_dict`).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.cluster import run_job
-from repro.cluster.job import JobResult
-from repro.workloads.nas import KERNEL_ORDER, KERNELS
+from repro.campaign import grids
+from repro.workloads.nas import KERNEL_ORDER
 
-_cache: Dict[Tuple[str, str, int], JobResult] = {}
-
-
-def nas_run(kernel: str, scheme: str, prepost: int) -> JobResult:
-    key = (kernel, scheme, prepost)
-    if key not in _cache:
-        k = KERNELS[kernel]
-        _cache[key] = run_job(k.build(), k.nranks, scheme, prepost=prepost)
-    return _cache[key]
+from benchmarks.conftest import run_grid
 
 
-def full_sweep(prepost: int) -> Dict[Tuple[str, str], JobResult]:
-    out = {}
-    for kernel in KERNEL_ORDER:
-        for scheme in ("hardware", "static", "dynamic"):
-            out[(kernel, scheme)] = nas_run(kernel, scheme, prepost)
-    return out
+def nas_run(kernel: str, scheme: str, prepost: int) -> Dict:
+    """Metrics of one NAS cell (cache-served if the sweep already ran)."""
+    specs = grids.nas_grid(kernels=[kernel], schemes=[scheme],
+                           preposts=[prepost])
+    return run_grid(specs).outcomes[0].metrics
+
+
+def full_sweep(prepost: int) -> Dict[Tuple[str, str], Dict]:
+    """Every (kernel, scheme) cell at one pre-post depth."""
+    specs = grids.nas_grid(kernels=KERNEL_ORDER,
+                           schemes=("hardware", "static", "dynamic"),
+                           preposts=[prepost])
+    res = run_grid(specs)
+    return {
+        (o.spec.params["kernel"], o.spec.params["scheme"]): o.metrics
+        for o in res.outcomes
+    }

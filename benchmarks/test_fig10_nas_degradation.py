@@ -27,7 +27,8 @@ def run_table() -> Table:
         table.add_row(
             kernel,
             *(
-                pct_change(starved[(kernel, s)].elapsed_ns, base[(kernel, s)].elapsed_ns)
+                pct_change(starved[(kernel, s)]["elapsed_ns"],
+                           base[(kernel, s)]["elapsed_ns"])
                 for s in SCHEMES
             ),
         )

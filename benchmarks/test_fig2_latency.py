@@ -6,23 +6,21 @@ for the send/recv-based implementation), rising with size.
 """
 
 from repro.analysis import Figure
-from repro.cluster import TestbedConfig, run_job
-from repro.sim.units import to_us
-from repro.workloads import latency_program
+from repro.campaign import grids
 
-from benchmarks.conftest import SCHEMES, run_once, save_result
+from benchmarks.conftest import SCHEMES, run_grid, run_once, save_result
 
 SIZES = [4, 16, 64, 256, 1024, 4096, 16384]
 
 
 def run_figure() -> Figure:
+    specs = grids.latency_grid(schemes=SCHEMES, sizes=SIZES, iterations=50,
+                               prepost=100)
+    res = run_grid(specs)
     fig = Figure("Figure 2: MPI latency", xlabel="bytes", ylabel="one-way us")
-    cfg = TestbedConfig(nodes=2)
-    for scheme in SCHEMES:
-        for size in SIZES:
-            r = run_job(latency_program(size, iterations=50), 2, scheme,
-                        prepost=100, config=cfg)
-            fig.add(scheme, size, to_us(int(r.rank_results[0])))
+    for out in res.outcomes:
+        fig.add(out.spec.params["scheme"], out.spec.params["size"],
+                out.metrics["latency_us"])
     return fig
 
 

@@ -17,7 +17,8 @@ def run_table() -> Table:
     table = Table("Figure 9: NAS runtimes (s), pre-post=100", list(SCHEMES))
     sweep = full_sweep(100)
     for kernel in KERNEL_ORDER:
-        table.add_row(kernel, *(sweep[(kernel, s)].elapsed_s for s in SCHEMES))
+        table.add_row(kernel,
+                      *(sweep[(kernel, s)]["elapsed_s"] for s in SCHEMES))
     return table
 
 

@@ -20,13 +20,13 @@ def run_table() -> Table:
         ["ecm_msgs", "total_msgs", "ecm_share_%", "ecm_per_conn"],
     )
     for kernel in KERNEL_ORDER:
-        r = nas_run(kernel, "static", 100)
+        fc = nas_run(kernel, "static", 100)["fc"]
         table.add_row(
             kernel,
-            r.fc.ecm_msgs,
-            r.fc.total_msgs,
-            100.0 * r.fc.ecm_fraction,
-            r.fc.avg_ecm_per_connection,
+            fc["ecm_msgs"],
+            fc["total_msgs"],
+            100.0 * fc["ecm_fraction"],
+            fc["avg_ecm_per_connection"],
         )
     return table
 

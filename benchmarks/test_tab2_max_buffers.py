@@ -23,8 +23,8 @@ def run_table() -> Table:
         ["max_buffers", "paper"],
     )
     for kernel in KERNEL_ORDER:
-        r = nas_run(kernel, "dynamic", 1)
-        table.add_row(kernel, r.fc.max_posted_buffers, PAPER_VALUES[kernel])
+        fc = nas_run(kernel, "dynamic", 1)["fc"]
+        table.add_row(kernel, fc["max_posted_buffers"], PAPER_VALUES[kernel])
     return table
 
 

@@ -19,6 +19,16 @@ class Series:
     points: List[tuple] = field(default_factory=list)
 
     def add(self, x, y) -> None:
+        """Add a point, replacing any existing point at the same ``x``.
+
+        Replacement (rather than silently keeping the first value, as the
+        old append-only behaviour did) is what a re-run sweep cell needs:
+        refreshed results overwrite the stale point.
+        """
+        for i, (px, _) in enumerate(self.points):
+            if px == x:
+                self.points[i] = (x, y)
+                return
         self.points.append((x, y))
 
     def y_at(self, x):
@@ -64,20 +74,38 @@ class Figure:
             for x, _ in s.points:
                 if x not in xs:
                     xs.append(x)
+
+        # Format every cell first, then derive each column's width from
+        # its label and widest formatted value — a custom ``fmt`` width or
+        # a long series label must never break header/row alignment
+        # (blank cells used to be hardcoded to 12 spaces).
+        columns: Dict[str, Dict] = {}
+        widths: Dict[str, int] = {}
+        for label, s in self.series.items():
+            cells = {}
+            for x in xs:
+                try:
+                    cells[x] = fmt.format(s.y_at(x))
+                except KeyError:
+                    cells[x] = ""
+            columns[label] = cells
+            widths[label] = max(
+                [len(label)] + [len(c) for c in cells.values()]
+            )
+        xw = max([12, len(self.xlabel)] + [len(str(x)) for x in xs])
+
         lines = [f"== {self.title} ==", f"   {self.ylabel} vs {self.xlabel}"]
-        header = f"{self.xlabel:>12} | " + " | ".join(
-            f"{label:>12}" for label in self.series
+        header = f"{self.xlabel:>{xw}} | " + " | ".join(
+            f"{label:>{widths[label]}}" for label in self.series
         )
         lines.append(header)
         lines.append("-" * len(header))
         for x in xs:
-            cells = []
-            for s in self.series.values():
-                try:
-                    cells.append(fmt.format(s.y_at(x)))
-                except KeyError:
-                    cells.append(" " * 12)
-            lines.append(f"{str(x):>12} | " + " | ".join(cells))
+            cells = [
+                f"{columns[label][x]:>{widths[label]}}"
+                for label in self.series
+            ]
+            lines.append(f"{str(x):>{xw}} | " + " | ".join(cells))
         return "\n".join(lines)
 
 

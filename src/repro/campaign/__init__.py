@@ -1,0 +1,44 @@
+"""Parallel sweep campaigns with content-addressed result caching.
+
+The scaling layer every experiment runs on:
+
+* :class:`JobSpec` — one declarative sweep cell (kind + params), keyed by
+  a stable hash of its spec and the ``repro`` source fingerprint;
+* :func:`run_cells` — the orchestrator: cache lookups, JSONL
+  checkpoint/resume, in-process or ``ProcessPoolExecutor`` execution,
+  and the ``check=True`` bit-identical determinism gate;
+* :mod:`~repro.campaign.grids` — the named figure/table campaigns behind
+  ``python -m repro sweep``.
+"""
+
+from repro.campaign.cache import MemoryCache, ResultCache
+from repro.campaign.cells import CELL_KINDS, cell_kind, latency_metrics, run_cell
+from repro.campaign.grids import GRIDS, build_grid
+from repro.campaign.runner import (
+    CampaignError,
+    CampaignResult,
+    CellOutcome,
+    CheckFailure,
+    run_cells,
+)
+from repro.campaign.spec import JobSpec, canonical_json, code_version, make_record
+
+__all__ = [
+    "CELL_KINDS",
+    "CampaignError",
+    "CampaignResult",
+    "CellOutcome",
+    "CheckFailure",
+    "GRIDS",
+    "JobSpec",
+    "MemoryCache",
+    "ResultCache",
+    "build_grid",
+    "canonical_json",
+    "cell_kind",
+    "code_version",
+    "latency_metrics",
+    "make_record",
+    "run_cell",
+    "run_cells",
+]

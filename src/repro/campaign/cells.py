@@ -1,0 +1,161 @@
+"""Executable sweep-cell kinds and their metric extraction.
+
+Every campaign cell maps a :class:`~repro.campaign.spec.JobSpec` kind to
+a function ``params -> metrics`` that builds the workload, runs it via
+:func:`repro.cluster.run_job`, and reduces the :class:`JobResult` to a
+plain JSON-serialisable dict.  Workers re-import this module, so the
+registry must stay importable without side effects, and metrics must be
+derived purely from the (deterministic) simulation — never from wall
+clocks — so a worker's record is bit-identical to an in-process run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping
+
+from repro.campaign.spec import JobSpec
+from repro.cluster import TestbedConfig, run_job
+from repro.cluster.job import JobResult
+from repro.sim.units import to_us
+
+CELL_KINDS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {}
+
+
+def cell_kind(name: str):
+    def register(fn):
+        CELL_KINDS[name] = fn
+        return fn
+
+    return register
+
+
+def run_cell(spec: JobSpec) -> Dict[str, Any]:
+    """Execute one cell in the current process and return its metrics."""
+    try:
+        fn = CELL_KINDS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown cell kind {spec.kind!r} (know {sorted(CELL_KINDS)})"
+        ) from None
+    return fn(spec.params)
+
+
+def latency_metrics(result: JobResult) -> Dict[str, Any]:
+    """Reduce a latency run to metrics, preserving fractional nanoseconds.
+
+    The ping-pong program averages over ``2 * iterations`` one-way trips,
+    so the per-trip latency is almost never a whole nanosecond; truncating
+    it (the old CLI's ``int(...)``) loses sub-microsecond resolution.
+    """
+    one_way_ns = float(result.rank_results[0])
+    return {
+        "latency_ns": one_way_ns,
+        "latency_us": to_us(one_way_ns),
+        "elapsed_ns": result.elapsed_ns,
+    }
+
+
+@cell_kind("latency")
+def _latency_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.workloads import latency_program
+
+    r = run_job(
+        latency_program(p["size"], iterations=p["iterations"]),
+        2,
+        p["scheme"],
+        prepost=p["prepost"],
+        config=TestbedConfig(nodes=2),
+    )
+    return latency_metrics(r)
+
+
+@cell_kind("bandwidth")
+def _bandwidth_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.workloads import bandwidth_program
+
+    r = run_job(
+        bandwidth_program(
+            p["size"],
+            p["window"],
+            repetitions=p["repetitions"],
+            blocking=p["blocking"],
+        ),
+        2,
+        p["scheme"],
+        prepost=p["prepost"],
+        config=TestbedConfig(nodes=2),
+    )
+    bw = r.rank_results[0]
+    return {
+        "mbps": bw.mbps,
+        "bytes_moved": bw.bytes_moved,
+        "transfer_ns": bw.elapsed_ns,
+        "elapsed_ns": r.elapsed_ns,
+    }
+
+
+@cell_kind("nas")
+def _nas_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.workloads.nas import KERNELS
+
+    try:
+        kernel = KERNELS[p["kernel"]]
+    except KeyError:
+        raise ValueError(
+            f"unknown NAS kernel {p['kernel']!r} (know {sorted(KERNELS)})"
+        ) from None
+    r = run_job(kernel.build(), kernel.nranks, p["scheme"], prepost=p["prepost"])
+    return {
+        "elapsed_ns": r.elapsed_ns,
+        "elapsed_s": r.elapsed_s,
+        "nranks": kernel.nranks,
+        "fc": r.fc_dict(),
+    }
+
+
+@cell_kind("chaos")
+def _chaos_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.faults.scenarios import chaos_cell
+
+    return chaos_cell(
+        p["scenario"], p["scheme"], seed=p["seed"], prepost=p["prepost"]
+    )
+
+
+@cell_kind("ring")
+def _ring_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
+    """The scaling experiment's ring exchange on a fat-tree cluster."""
+    nodes = p["nodes"]
+    leaf_ports = p["leaf_ports"]
+    iterations = p["iterations"]
+    cfg = TestbedConfig(
+        nodes=nodes,
+        topology="fat-tree",
+        leaf_ports=leaf_ports,
+        spines=max(1, nodes // (2 * leaf_ports)),
+    )
+
+    def ring(mpi):
+        nxt = (mpi.rank + 1) % mpi.world_size
+        prv = (mpi.rank - 1) % mpi.world_size
+        for i in range(iterations):
+            rreq = yield from mpi.irecv(source=prv, capacity=4096, tag=i)
+            yield from mpi.send(nxt, size=1024, tag=i)
+            yield from mpi.wait(rreq)
+
+    r = run_job(ring, nodes, p["scheme"], prepost=p["prepost"], config=cfg,
+                on_demand=p["on_demand"], finalize=False)
+    connections = (
+        r.connections_established
+        if r.connections_established is not None
+        else nodes * (nodes - 1) // 2
+    )
+    posted = sum(
+        c.recv_posted for ep in r.endpoints for c in ep.connections.values()
+    )
+    return {
+        "connections": connections,
+        "posted_buffers": posted,
+        "elapsed_ns": r.elapsed_ns,
+        "elapsed_us": r.elapsed_us,
+    }

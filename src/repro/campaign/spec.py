@@ -1,0 +1,104 @@
+"""Declarative sweep cells and their content-addressed identity.
+
+A campaign is a list of :class:`JobSpec` cells — plain ``kind`` +
+JSON-serialisable ``params`` — so cells can cross process boundaries
+(``ProcessPoolExecutor`` workers), be persisted to JSONL artifacts, and
+be keyed for the result cache.  A cell's cache key is a stable hash of
+its *full* spec plus a fingerprint of the ``repro`` source tree, so any
+code change invalidates every cached result automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Fingerprint of the installed ``repro`` package sources.
+
+    A content hash (not mtimes) over every ``*.py`` file, so two checkouts
+    of the same code share a cache while any edit — even to a module a
+    cell never imports — starts a fresh one.  Conservative on purpose:
+    a stale cached result is a silent wrong answer, an invalidated one
+    merely costs a re-run.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(path.relative_to(root).as_posix().encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _CODE_VERSION = h.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def canonical_json(value: Any) -> str:
+    """The one serialisation used for hashing, artifacts and comparisons."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One independent sweep cell: a workload kind plus its parameters."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Freeze the parameters into a plain dict and fail fast on
+        # anything that cannot survive a JSON round-trip (a spec that
+        # cannot be serialised cannot be cached or shipped to a worker).
+        object.__setattr__(self, "params", dict(self.params))
+        canonical_json(self.params)
+
+    def canonical(self) -> str:
+        return canonical_json({"kind": self.kind, "params": self.params})
+
+    @property
+    def key(self) -> str:
+        """Content-addressed identity: spec hash x code fingerprint."""
+        h = hashlib.sha256()
+        h.update(self.canonical().encode())
+        h.update(b"|")
+        h.update(code_version().encode())
+        return h.hexdigest()
+
+    @property
+    def short_key(self) -> str:
+        return self.key[:12]
+
+    def label(self) -> str:
+        """Compact human-readable cell description for progress lines."""
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.kind} {parts}" if parts else self.kind
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        return cls(kind=data["kind"], params=data.get("params", {}))
+
+
+def make_record(spec: JobSpec, metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """The persisted/cached result of one cell.
+
+    Deliberately excludes wall-clock time and hostnames: a record must be
+    bit-identical no matter where or how fast the cell ran, so ``--check``
+    can compare worker output against an in-process re-run byte-for-byte.
+    """
+    return {
+        "key": spec.key,
+        "kind": spec.kind,
+        "params": spec.params,
+        "code_version": code_version(),
+        "metrics": metrics,
+    }

@@ -9,7 +9,14 @@ Commands mirror the paper's experiments:
 * ``scaling``   — the beyond-the-paper experiment: dynamic scheme +
   on-demand connections on a fat-tree cluster;
 * ``chaos``     — deterministic fault injection: compare the schemes'
-  robustness under a named fault scenario (``repro.faults``).
+  robustness under a named fault scenario (``repro.faults``);
+* ``sweep``     — run a named figure/table campaign through the parallel
+  orchestrator with result caching (``repro.campaign``).
+
+Every experiment command expands its grid into declarative
+:class:`~repro.campaign.JobSpec` cells and feeds them through the same
+:func:`~repro.campaign.run_cells` runner, so ``--workers`` parallelism
+and the sweep cache apply uniformly.
 """
 
 from __future__ import annotations
@@ -20,13 +27,13 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import Figure, Table, pct_change
-from repro.cluster import TestbedConfig, run_job
-from repro.faults import SCENARIOS, run_chaos
-from repro.sim.units import to_us
-from repro.workloads import bandwidth_program, latency_program
-from repro.workloads.nas import KERNEL_ORDER, KERNELS
+from repro.campaign import GRIDS, ResultCache, build_grid, grids, run_cells
+from repro.faults import SCENARIOS, chaos_report_header
+from repro.workloads.nas import KERNEL_ORDER
 
 SCHEMES = ("hardware", "static", "dynamic")
+
+DEFAULT_CACHE_DIR = "benchmarks/results/.sweep-cache"
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -34,51 +41,69 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    choices=SCHEMES, help="flow control schemes to compare")
     p.add_argument("--prepost", type=int, default=100,
                    help="receive buffers pre-posted per connection")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for independent cells (1 = "
+                        "run everything in this process)")
+
+
+def _progress(out, done, total) -> None:
+    tag = {"run": "run", "worker": "run", "failed": "FAIL"}.get(
+        out.source, out.source)
+    detail = out.error if out.source == "failed" else f"{out.wall_s:.2f}s"
+    print(f"  [{done}/{total}] {tag} {out.spec.label()} ({detail})",
+          file=sys.stderr)
 
 
 def cmd_latency(args: argparse.Namespace) -> int:
+    specs = grids.latency_grid(schemes=args.schemes, sizes=args.sizes,
+                               iterations=args.iterations,
+                               prepost=args.prepost)
+    res = run_cells(specs, workers=args.workers)
     fig = Figure("MPI latency", xlabel="bytes", ylabel="one-way us")
-    cfg = TestbedConfig(nodes=2)
-    for scheme in args.schemes:
-        for size in args.sizes:
-            r = run_job(latency_program(size, iterations=args.iterations),
-                        2, scheme, prepost=args.prepost, config=cfg)
-            fig.add(scheme, size, to_us(int(r.rank_results[0])))
+    for out in res.outcomes:
+        fig.add(out.spec.params["scheme"], out.spec.params["size"],
+                out.metrics["latency_us"])
     print(fig.render())
     return 0
 
 
 def cmd_bandwidth(args: argparse.Namespace) -> int:
+    specs = grids.bandwidth_grid(schemes=args.schemes, size=args.size,
+                                 windows=args.windows,
+                                 repetitions=args.repetitions,
+                                 blocking=args.blocking,
+                                 prepost=args.prepost)
+    res = run_cells(specs, workers=args.workers)
     fig = Figure(
         f"MPI bandwidth, {args.size}B messages, pre-post={args.prepost}, "
         f"{'blocking' if args.blocking else 'non-blocking'}",
         xlabel="window", ylabel="MB/s",
     )
-    cfg = TestbedConfig(nodes=2)
-    for scheme in args.schemes:
-        for window in args.windows:
-            r = run_job(
-                bandwidth_program(args.size, window, repetitions=args.repetitions,
-                                  blocking=args.blocking),
-                2, scheme, prepost=args.prepost, config=cfg,
-            )
-            fig.add(scheme, window, r.rank_results[0].mbps)
+    for out in res.outcomes:
+        fig.add(out.spec.params["scheme"], out.spec.params["window"],
+                out.metrics["mbps"])
     print(fig.render(fmt="{:>12.3f}"))
     return 0
 
 
 def cmd_nas(args: argparse.Namespace) -> int:
+    specs = grids.nas_grid(kernels=args.kernels, schemes=args.schemes,
+                           preposts=(args.prepost,))
+    res = run_cells(specs, workers=args.workers)
+    by_cell = {(o.spec.params["kernel"], o.spec.params["scheme"]): o.metrics
+               for o in res.outcomes}
     runtime = Table(f"NAS proxy runtimes (s), pre-post={args.prepost}",
                     list(args.schemes))
     for name in args.kernels:
-        k = KERNELS[name]
         row = []
         for scheme in args.schemes:
-            r = run_job(k.build(), k.nranks, scheme, prepost=args.prepost)
-            row.append(r.elapsed_s)
+            m = by_cell[(name, scheme)]
+            row.append(m["elapsed_s"])
             if args.verbose:
-                print(f"  {name}/{scheme}: ecm={r.fc.ecm_msgs} "
-                      f"maxbuf={r.fc.max_posted_buffers} naks={r.fc.rnr_naks}",
+                fc = m["fc"]
+                print(f"  {name}/{scheme}: ecm={fc['ecm_msgs']} "
+                      f"maxbuf={fc['max_posted_buffers']} "
+                      f"naks={fc['rnr_naks']}",
                       file=sys.stderr)
         runtime.add_row(name, *row)
     print(runtime.render())
@@ -86,29 +111,17 @@ def cmd_nas(args: argparse.Namespace) -> int:
 
 
 def cmd_scaling(args: argparse.Namespace) -> int:
-    cfg = TestbedConfig(nodes=args.nodes, topology="fat-tree",
-                        leaf_ports=args.leaf_ports,
-                        spines=max(1, args.nodes // (2 * args.leaf_ports)))
-
-    def ring(mpi):
-        nxt = (mpi.rank + 1) % mpi.world_size
-        prv = (mpi.rank - 1) % mpi.world_size
-        for i in range(args.iterations):
-            rreq = yield from mpi.irecv(source=prv, capacity=4096, tag=i)
-            yield from mpi.send(nxt, size=1024, tag=i)
-            yield from mpi.wait(rreq)
-
+    specs = grids.scaling_grid(nodes=args.nodes, leaf_ports=args.leaf_ports,
+                               prepost=args.prepost,
+                               iterations=args.iterations)
+    res = run_cells(specs, workers=args.workers)
     table = Table(f"Ring on {args.nodes} ranks (fat-tree)",
                   ["connections", "posted_buffers", "time_us"])
-    for label, on_demand in (("full mesh", False), ("on-demand", True)):
-        r = run_job(ring, args.nodes, "dynamic", prepost=args.prepost,
-                    config=cfg, on_demand=on_demand, finalize=False)
-        conns = (r.connections_established
-                 if r.connections_established is not None
-                 else args.nodes * (args.nodes - 1) // 2)
-        buffers = sum(c.recv_posted for ep in r.endpoints
-                      for c in ep.connections.values())
-        table.add_row(label, conns, buffers, r.elapsed_us)
+    for out in res.outcomes:
+        label = "on-demand" if out.spec.params["on_demand"] else "full mesh"
+        m = out.metrics
+        table.add_row(label, m["connections"], m["posted_buffers"],
+                      m["elapsed_us"])
     print(table.render())
     print("\nBuffer memory scales with the communication graph, not P^2 —")
     print("the paper's conclusion, demonstrated beyond its 8-node testbed.")
@@ -156,12 +169,21 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_report(args: argparse.Namespace) -> dict:
+    specs = grids.chaos_grid(scenarios=[args.scenario], schemes=args.schemes,
+                             seed=args.seed, prepost=args.prepost)
+    res = run_cells(specs, workers=args.workers)
+    report = chaos_report_header(args.scenario, seed=args.seed,
+                                 prepost=args.prepost)
+    for out in res.outcomes:
+        report["schemes"][out.spec.params["scheme"]] = out.metrics
+    return report
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
-    report = run_chaos(args.scenario, seed=args.seed,
-                       schemes=args.schemes, prepost=args.prepost)
+    report = _chaos_report(args)
     if args.check:
-        rerun = run_chaos(args.scenario, seed=args.seed,
-                          schemes=args.schemes, prepost=args.prepost)
+        rerun = _chaos_report(args)
         if json.dumps(report, sort_keys=True) != json.dumps(rerun, sort_keys=True):
             print("DETERMINISM DRIFT: two identical chaos runs disagree",
                   file=sys.stderr)
@@ -189,6 +211,75 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.check:
         print("determinism check passed (two runs bit-identical)",
               file=sys.stderr)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.campaign.runner import CheckFailure
+
+    if args.list:
+        for name in sorted(GRIDS):
+            print(f"{name:>12}  {GRIDS[name].description}")
+        return 0
+    if args.grid is None:
+        print("error: --grid is required (or --list to see the campaigns)",
+              file=sys.stderr)
+        return 2
+    overrides = {
+        "schemes": args.schemes,
+        "repetitions": args.repetitions,
+        "windows": args.windows,
+        "kernels": args.kernels,
+        "seed": args.seed,
+    }
+    try:
+        specs = build_grid(args.grid, **overrides)
+    except (TypeError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    out_path = args.out or f"benchmarks/results/sweep_{args.grid}.jsonl"
+    print(f"sweep '{args.grid}': {len(specs)} cells, "
+          f"workers={args.workers}, cache="
+          f"{'off' if cache is None else args.cache_dir}", file=sys.stderr)
+    try:
+        res = run_cells(
+            specs,
+            workers=args.workers,
+            cache=cache,
+            jsonl_path=out_path,
+            resume=args.resume,
+            check=args.check,
+            strict=False,
+            progress=_progress,
+        )
+    except CheckFailure as err:  # pragma: no cover - strict=False above
+        print(f"CHECK FAILED: {err}", file=sys.stderr)
+        return 1
+
+    print(f"sweep '{args.grid}': {len(res.outcomes)} cells — "
+          f"{res.executed} executed, {res.hits} cached, "
+          f"{len(res.failures)} failed in {res.wall_s:.2f}s -> {out_path}",
+          file=sys.stderr)
+    if res.failures:
+        for out in res.failures:
+            print(f"FAILED: {out.spec.label()}: {out.error}", file=sys.stderr)
+        return 1
+    if res.check_failures:
+        for m in res.check_failures:
+            print(f"CHECK MISMATCH ({m['source']}): {m['label']}",
+                  file=sys.stderr)
+        print("DETERMINISM DRIFT: stored results are not bit-identical to "
+              "an in-process re-run", file=sys.stderr)
+        return 1
+    if args.check:
+        print("determinism check passed (records bit-identical to "
+              "in-process runs)", file=sys.stderr)
+    if args.require_all_cached and res.executed:
+        print(f"error: --require-all-cached but {res.executed} cell(s) "
+              f"were executed (cold cache?)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -294,7 +385,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--leaf-ports", type=int, default=8)
     p.add_argument("--prepost", type=int, default=1)
     p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for independent cells")
     p.set_defaults(fn=cmd_scaling)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a named figure/table campaign through the parallel "
+             "orchestrator with result caching (repro.campaign)",
+    )
+    p.add_argument("--grid", default=None, choices=sorted(GRIDS),
+                   help="named campaign (see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the available campaign grids and exit")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = sequential reference path)")
+    p.add_argument("--out", default=None, metavar="JSONL",
+                   help="campaign artifact "
+                        "(default benchmarks/results/sweep_<grid>.jsonl)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="content-addressed result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the result cache entirely")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse records already in the --out artifact "
+                        "(checkpoint of an interrupted campaign)")
+    p.add_argument("--check", action="store_true",
+                   help="re-run every cached/worker result in-process and "
+                        "exit 1 unless bit-identical")
+    p.add_argument("--require-all-cached", action="store_true",
+                   help="exit 1 if any cell had to execute (warm-cache "
+                        "assertion for CI)")
+    p.add_argument("--schemes", nargs="+", default=None, choices=SCHEMES,
+                   help="override the grid's schemes")
+    p.add_argument("--windows", nargs="+", type=int, default=None,
+                   help="override a bandwidth grid's window axis")
+    p.add_argument("--repetitions", type=int, default=None,
+                   help="override a bandwidth grid's repetitions per cell")
+    p.add_argument("--kernels", nargs="+", default=None,
+                   help="override the NAS grid's kernel list")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the chaos grid's fault-plan seed")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
         "chaos",
@@ -308,6 +440,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=SCHEMES, help="flow control schemes to compare")
     p.add_argument("--prepost", type=int, default=None,
                    help="receive buffers per connection (default: scenario's)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the per-scheme cells")
     p.add_argument("--json", action="store_true",
                    help="emit the report as canonical JSON")
     p.add_argument("--check", action="store_true",

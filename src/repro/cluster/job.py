@@ -53,6 +53,19 @@ class JobResult:
     def elapsed_s(self) -> float:
         return seconds(self.elapsed_ns)
 
+    def fc_dict(self) -> Dict[str, Any]:
+        """Flow-control statistics as a plain JSON-serialisable dict.
+
+        This is the shape campaign workers ship back across process
+        boundaries (``repro.campaign``): every ``FlowControlReport``
+        field plus the derived ``ecm_fraction``.
+        """
+        from dataclasses import asdict
+
+        d = asdict(self.fc)
+        d["ecm_fraction"] = self.fc.ecm_fraction
+        return d
+
 
 def run_job(
     program: Program,

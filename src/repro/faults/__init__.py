@@ -15,7 +15,13 @@ under adverse conditions.  This package injects them, reproducibly:
 
 from repro.faults.injector import FabricFaultState, FaultInjector, FaultInjectorError
 from repro.faults.plan import FaultEvent, FaultPlan, FaultPlanError
-from repro.faults.scenarios import SCENARIOS, SCHEMES, run_chaos
+from repro.faults.scenarios import (
+    SCENARIOS,
+    SCHEMES,
+    chaos_cell,
+    chaos_report_header,
+    run_chaos,
+)
 
 __all__ = [
     "FabricFaultState",
@@ -26,5 +32,7 @@ __all__ = [
     "FaultPlanError",
     "SCENARIOS",
     "SCHEMES",
+    "chaos_cell",
+    "chaos_report_header",
     "run_chaos",
 ]

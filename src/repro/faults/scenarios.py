@@ -147,6 +147,77 @@ SCENARIOS: Dict[str, Scenario] = {
 # ----------------------------------------------------------------------
 # the chaos harness
 # ----------------------------------------------------------------------
+def _scenario(scenario: str) -> Scenario:
+    try:
+        return SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r} (know {sorted(SCENARIOS)})"
+        ) from None
+
+
+def chaos_cell(
+    scenario: str,
+    scheme: str,
+    seed: int = 7,
+    prepost: Optional[int] = None,
+) -> Dict:
+    """Run one scheme under the named scenario and return its report entry.
+
+    This is the unit of work the campaign orchestrator fans out
+    (``repro.campaign``); :func:`run_chaos` assembles the same entries
+    sequentially, so the two paths are bit-identical by construction.
+    """
+    sc = _scenario(scenario)
+    depth = sc.prepost if prepost is None else prepost
+    plan = sc.make_plan(seed)  # fresh plan (and RNG) per run
+    plan_end = plan.end_ns
+    try:
+        result = run_job(
+            sc.make_program(), sc.nranks, scheme, depth, faults=plan
+        )
+    except Exception as exc:  # deterministic failures are part of the report
+        return {
+            "completed": False,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+    fc = result.fc
+    summary = result.tracer.summary()
+    return {
+        "completed": True,
+        "elapsed_us": result.elapsed_us,
+        "recovery_us": to_us(max(0, result.elapsed_ns - plan_end)),
+        "retransmissions": fc.retransmissions,
+        "rnr_naks": fc.rnr_naks,
+        "backlog_max": fc.backlog_max,
+        "backlogged_msgs": fc.backlogged_msgs,
+        "rndv_fallbacks": fc.rndv_fallbacks,
+        "ecm_msgs": fc.ecm_msgs,
+        "faults": {
+            name: total
+            for name, total in summary.items()
+            if name.startswith("faults.")
+        },
+    }
+
+
+def chaos_report_header(
+    scenario: str, seed: int = 7, prepost: Optional[int] = None
+) -> Dict:
+    """The scenario-level fields shared by every scheme's entry."""
+    sc = _scenario(scenario)
+    depth = sc.prepost if prepost is None else prepost
+    return {
+        "scenario": sc.name,
+        "description": sc.description,
+        "seed": seed,
+        "nranks": sc.nranks,
+        "prepost": depth,
+        "fault_window_us": to_us(sc.make_plan(seed).end_ns),
+        "schemes": {},
+    }
+
+
 def run_chaos(
     scenario: str,
     seed: int = 7,
@@ -155,51 +226,9 @@ def run_chaos(
 ) -> Dict:
     """Run ``schemes`` under the named scenario; returns the robustness
     report as a plain dict (deterministic content for a fixed seed)."""
-    try:
-        sc = SCENARIOS[scenario]
-    except KeyError:
-        raise ValueError(
-            f"unknown scenario {scenario!r} (know {sorted(SCENARIOS)})"
-        ) from None
-    depth = sc.prepost if prepost is None else prepost
-    plan_end = sc.make_plan(seed).end_ns
-    report: Dict = {
-        "scenario": sc.name,
-        "description": sc.description,
-        "seed": seed,
-        "nranks": sc.nranks,
-        "prepost": depth,
-        "fault_window_us": to_us(plan_end),
-        "schemes": {},
-    }
+    report = chaos_report_header(scenario, seed=seed, prepost=prepost)
     for scheme in schemes:
-        plan = sc.make_plan(seed)  # fresh plan (and RNG) per run
-        try:
-            result = run_job(
-                sc.make_program(), sc.nranks, scheme, depth, faults=plan
-            )
-        except Exception as exc:  # deterministic failures are part of the report
-            report["schemes"][scheme] = {
-                "completed": False,
-                "error": f"{type(exc).__name__}: {exc}",
-            }
-            continue
-        fc = result.fc
-        summary = result.tracer.summary()
-        report["schemes"][scheme] = {
-            "completed": True,
-            "elapsed_us": result.elapsed_us,
-            "recovery_us": to_us(max(0, result.elapsed_ns - plan_end)),
-            "retransmissions": fc.retransmissions,
-            "rnr_naks": fc.rnr_naks,
-            "backlog_max": fc.backlog_max,
-            "backlogged_msgs": fc.backlogged_msgs,
-            "rndv_fallbacks": fc.rndv_fallbacks,
-            "ecm_msgs": fc.ecm_msgs,
-            "faults": {
-                name: total
-                for name, total in summary.items()
-                if name.startswith("faults.")
-            },
-        }
+        report["schemes"][scheme] = chaos_cell(
+            scenario, scheme, seed=seed, prepost=prepost
+        )
     return report

@@ -15,6 +15,31 @@ def test_series_add_and_lookup():
         s.y_at(99)
 
 
+def test_series_add_replaces_point_at_existing_x():
+    # Regression: ``add`` used to append silently, so a re-run sweep cell
+    # left a stale duplicate whose first value won on render.
+    s = Series("curve")
+    s.add(1, 10.0)
+    s.add(2, 20.0)
+    s.add(1, 11.5)  # the refreshed cell overwrites the stale point
+    assert s.y_at(1) == 11.5
+    assert s.points == [(1, 11.5), (2, 20.0)]  # no duplicate, order kept
+
+
+def test_figure_rerun_cell_overwrites_stale_point():
+    fig = Figure("T", xlabel="n", ylabel="v")
+    fig.add("a", 4, 1.0)
+    fig.add("a", 4, 2.5)  # re-run of the same cell
+    assert fig.series_named("a").y_at(4) == 2.5
+    assert fig.render().count(" 4 ") <= 1  # the x row appears once
+
+
+def _column_starts(text):
+    """Index of every ``|`` separator per rendered row."""
+    rows = [l for l in text.splitlines() if "|" in l]
+    return [[i for i, ch in enumerate(r) if ch == "|"] for r in rows]
+
+
 def test_figure_collects_series_and_renders():
     fig = Figure("T", xlabel="n", ylabel="v")
     fig.add("a", 1, 1.0)
@@ -32,6 +57,33 @@ def test_figure_renders_missing_points_as_blank():
     fig.add("b", 2, 2.0)
     text = fig.render()
     assert text.count("\n") >= 4  # header + separator + two x rows
+
+
+def test_figure_render_aligns_with_custom_fmt_width():
+    # Regression: blank cells were hardcoded to 12 spaces, so any custom
+    # ``fmt`` wider or narrower than 12 skewed every later column on
+    # rows with missing points.
+    fig = Figure("T", xlabel="n", ylabel="v")
+    fig.add("a", 1, 1.0)       # b missing at x=1
+    fig.add("b", 2, 2.0)       # a missing at x=2
+    for fmt in ("{:>18.6f}", "{:>6.1f}"):
+        starts = _column_starts(fig.render(fmt=fmt))
+        assert len(starts) >= 3  # header + two data rows
+        assert all(s == starts[0] for s in starts[1:]), fmt
+
+
+def test_figure_render_aligns_long_series_labels():
+    # Regression: labels wider than the hardcoded 12-char cell broke
+    # header/row alignment.
+    fig = Figure("T", xlabel="n", ylabel="v")
+    fig.add("a-very-long-series-label", 1, 1.0)
+    fig.add("short", 1, 2.0)
+    fig.add("short", 2, 3.0)  # long series missing at x=2
+    text = fig.render()
+    starts = _column_starts(text)
+    assert all(s == starts[0] for s in starts[1:])
+    header = text.splitlines()[2]
+    assert "a-very-long-series-label" in header
 
 
 def test_table_roundtrip_and_validation():

@@ -83,6 +83,71 @@ def test_perf_check_fails_on_determinism_drift(tmp_path, capsys):
     assert "determinism" in capsys.readouterr().err
 
 
+def test_latency_command_parallel_workers_match_sequential(capsys):
+    args = ["latency", "--sizes", "4", "--iterations", "5",
+            "--schemes", "static", "dynamic"]
+    assert main(args) == 0
+    sequential = capsys.readouterr().out
+    assert main(args + ["--workers", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == sequential  # worker cells are bit-identical
+
+
+def test_sweep_list_command(capsys):
+    assert main(["sweep", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out and "nas" in out and "chaos" in out
+
+
+def test_sweep_requires_grid(capsys):
+    assert main(["sweep"]) == 2
+    assert "--grid" in capsys.readouterr().err
+
+
+def test_sweep_cold_then_warm_cache(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    out = str(tmp_path / "sweep.jsonl")
+    base = ["sweep", "--grid", "fig3-smoke", "--windows", "1", "2",
+            "--repetitions", "2", "--cache-dir", cache, "--out", out]
+
+    assert main(base) == 0
+    err = capsys.readouterr().err
+    assert "6 executed, 0 cached" in err
+
+    # Warm re-run: served entirely from cache, bit-identical on --check.
+    assert main(base + ["--check", "--require-all-cached"]) == 0
+    err = capsys.readouterr().err
+    assert "0 executed, 6 cached" in err
+    assert "determinism check passed" in err
+
+    # A cold cache fails the warm-cache assertion.
+    assert main(base[:-4] + ["--cache-dir", str(tmp_path / "empty"),
+                             "--out", out, "--require-all-cached"]) == 1
+    assert "--require-all-cached" in capsys.readouterr().err
+
+
+def test_sweep_check_fails_on_doctored_cache(tmp_path, capsys):
+    from repro.campaign import ResultCache, grids
+
+    cache_dir = str(tmp_path / "cache")
+    out = str(tmp_path / "sweep.jsonl")
+    base = ["sweep", "--grid", "fig2", "--schemes", "static",
+            "--cache-dir", cache_dir, "--out", out]
+    assert main(base) == 0
+    capsys.readouterr()
+
+    # Inject a nondeterministic result into one cached cell.
+    cache = ResultCache(cache_dir)
+    key = grids.latency_grid(schemes=["static"])[0].key
+    record = cache.get(key)
+    record["metrics"]["latency_ns"] += 0.5
+    cache.put(key, record)
+
+    assert main(base + ["--check"]) == 1
+    err = capsys.readouterr().err
+    assert "DETERMINISM DRIFT" in err and "CHECK MISMATCH" in err
+
+
 def test_unknown_command_exits_2(capsys):
     # No exception escapes: argparse's error is surfaced as exit code 2
     # with the usage text on stderr.

@@ -36,6 +36,38 @@ def run_table() -> Table:
         r = run_job(k.build(), k.nranks, HardwareScheme(), prepost=1, config=cfg)
         table.add_row(f"timer={t}us", r.elapsed_s, r.fc.rnr_naks, r.fc.retransmissions)
 
+    # Adaptive RNR backoff on the same sweep: the ladder only escalates
+    # on *consecutive* NAKs for one message, and LU's receiver — slow but
+    # never absent — delivers every NAK'd head on its first retry, so the
+    # row must be bit-identical to the flat 40 us timer (zero cost for an
+    # attentive receiver).
+    cfg = TestbedConfig()
+    cfg.ib.rnr_timer_ns = us(40)
+    cfg.ib.rnr_backoff_factor = 2.0
+    cfg.ib.rnr_backoff_max_ns = us(640)
+    r = run_job(k.build(), k.nranks, HardwareScheme(), prepost=1, config=cfg)
+    table.add_row("backoff 40us x2 cap 640us", r.elapsed_s, r.fc.rnr_naks,
+                  r.fc.retransmissions)
+
+    # Where the ladder earns its keep: a descheduled receiver (the chaos
+    # harness's receiver-stall burst).  The same head message NAKs over
+    # and over, so the flat timer pays a NAK storm for the whole outage
+    # while backoff escalates toward the cap after a few probes.
+    from repro.faults.scenarios import SCENARIOS as CHAOS
+
+    sc = CHAOS["receiver-stall"]
+    for label, factor, cap in [
+        ("stall, flat 320us", 1.0, us(10_000)),
+        ("stall, backoff x2 cap 2560us", 2.0, us(2_560)),
+    ]:
+        cfg = TestbedConfig(nodes=2)
+        cfg.ib.rnr_backoff_factor = factor
+        cfg.ib.rnr_backoff_max_ns = cap
+        r = run_job(sc.make_program(), sc.nranks, HardwareScheme(),
+                    prepost=sc.prepost, config=cfg, faults=sc.make_plan(7))
+        table.add_row(label, r.elapsed_s, r.fc.rnr_naks,
+                      r.fc.retransmissions)
+
     cfg = TestbedConfig()
     r = run_job(k.build(), k.nranks, HardwareScheme(arm_e2e_gate=True), prepost=1, config=cfg)
     table.add_row("gated (320us)", r.elapsed_s, r.fc.rnr_naks, r.fc.retransmissions)
@@ -61,6 +93,24 @@ def test_ablation_rnr_timer(benchmark):
     # The gate trades retransmissions for orderly waiting.
     assert table.value("gated (320us)", "retransmissions") < table.value(
         "timer=320us", "retransmissions"
+    )
+
+    # Adaptive backoff is free when the receiver keeps consuming: every
+    # NAK'd head lands on its first retry, the ladder never escalates,
+    # and the row matches the flat fast timer bit for bit.
+    for col in ("runtime_s", "naks", "retransmissions"):
+        assert table.value("backoff 40us x2 cap 640us", col) == table.value(
+            "timer=40us", col
+        )
+
+    # Under genuine starvation the ladder collapses the NAK storm: the
+    # stalled receiver's consecutive NAKs escalate the wait toward the
+    # cap instead of replaying every base period.
+    assert table.value("stall, backoff x2 cap 2560us", "naks") < 0.5 * table.value(
+        "stall, flat 320us", "naks"
+    )
+    assert table.value("stall, backoff x2 cap 2560us", "retransmissions") < table.value(
+        "stall, flat 320us", "retransmissions"
     )
 
     # Unsolicited credit updates would have (mostly) rescued the hardware

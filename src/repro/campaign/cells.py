@@ -118,7 +118,8 @@ def _chaos_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
     from repro.faults.scenarios import chaos_cell
 
     return chaos_cell(
-        p["scenario"], p["scheme"], seed=p["seed"], prepost=p["prepost"]
+        p["scenario"], p["scheme"], seed=p["seed"], prepost=p["prepost"],
+        recovery=p.get("recovery", False),
     )
 
 

@@ -74,6 +74,7 @@ def chaos_grid(
     schemes: Iterable[str] = SCHEMES,
     seed: int = 7,
     prepost: Optional[int] = None,
+    recovery: bool = False,
 ) -> List[JobSpec]:
     from repro.faults import SCENARIOS
 
@@ -84,8 +85,12 @@ def chaos_grid(
         # depends on how the depth was spelled.
         depth = SCENARIOS[name].prepost if prepost is None else prepost
         for scheme in schemes:
-            specs.append(JobSpec("chaos", {"scenario": name, "scheme": scheme,
-                                           "seed": seed, "prepost": depth}))
+            params = {"scenario": name, "scheme": scheme,
+                      "seed": seed, "prepost": depth}
+            if recovery:
+                # only keyed when on, so pre-recovery cache keys stay valid
+                params["recovery"] = True
+            specs.append(JobSpec("chaos", params))
     return specs
 
 
@@ -142,7 +147,7 @@ GRIDS: Dict[str, Grid] = {
     "nas": Grid("NAS kernels x schemes x pre-post {100,1}; Figures 9-10, "
                 "Tables 1-2 (42 cells)",
                 lambda **kw: nas_grid(**kw)),
-    "chaos": Grid("fault scenarios x schemes robustness sweep (9 cells)",
+    "chaos": Grid("fault scenarios x schemes robustness sweep (15 cells)",
                   lambda **kw: chaos_grid(**kw)),
     "scaling": Grid("fat-tree ring: full mesh vs on-demand (2 cells)",
                     lambda **kw: scaling_grid(**kw)),

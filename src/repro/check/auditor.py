@@ -123,6 +123,10 @@ class Auditor:
         self._ungranted: Dict[tuple, int] = defaultdict(int)
         self._inflight_credits: Dict[tuple, int] = defaultdict(int)
         self._pending_swallow: Dict[tuple, int] = defaultdict(int)
+        #: directed pairs mid connection-recovery: the conservation sum is
+        #: meaningless between teardown and resync, so checks are paused
+        #: (repro.recovery re-seeds the ledgers and lifts the suspension)
+        self._suspended: Set[tuple] = set()
         # --- (b) send-buffer leases, per rank ---
         self._lease: Dict[int, int] = defaultdict(int)
         # --- (c) backlog shadows, keyed by (rank, peer) ---
@@ -158,6 +162,7 @@ class Auditor:
         ):
             store.clear()
         self._dequeued.clear()
+        self._suspended.clear()
         self._total_sent = self._total_matched = 0
         self._wd_armed = False
         self._last_progress_ns = cluster.sim.now
@@ -175,6 +180,49 @@ class Auditor:
             if grace > self._fault_grace_until:
                 self._fault_grace_until = grace
 
+    def extend_grace(self, until_ns: int) -> None:
+        """Recovery backoff windows suppress progress like fault windows
+        do; the recovery manager pushes the watchdog tolerance past them."""
+        if until_ns + self.quiet_bound_ns > self._fault_grace_until:
+            self._fault_grace_until = until_ns + self.quiet_bound_ns
+
+    # ------------------------------------------------------------------
+    # recovery integration (repro.recovery)
+    # ------------------------------------------------------------------
+    def on_recovery_begin(self, a: int, b: int) -> None:
+        """QP pair (a, b) is being torn down: conservation for both
+        directions is indeterminate until the resync re-seeds it."""
+        self.hook_calls += 1
+        self._progress()
+        self._suspended.add((a, b))
+        self._suspended.add((b, a))
+
+    def on_recovery_resync(
+        self,
+        s: int,
+        r: int,
+        consumed_unsent: int,
+        inflight_paid: int,
+        ungranted: int,
+        inflight_credits: int,
+    ) -> None:
+        """The manager rebuilt ``s -> r`` credit state for the new epoch;
+        seed the ledger to match and resume checking the direction."""
+        self.hook_calls += 1
+        key = (s, r)
+        self._consumed_unsent[key] = consumed_unsent
+        self._inflight_paid[key] = inflight_paid
+        self._ungranted[key] = ungranted
+        self._inflight_credits[key] = inflight_credits
+        self._suspended.discard(key)
+        if self._uses_credits:
+            self._check_pair(s, r)
+
+    def pending_swallow(self, s: int, r: int) -> int:
+        """Outstanding decay-contraction debt for ``s -> r`` (the resync
+        formula must mint that many fewer credits)."""
+        return self._pending_swallow[(s, r)]
+
     # ------------------------------------------------------------------
     # violation plumbing
     # ------------------------------------------------------------------
@@ -190,6 +238,8 @@ class Auditor:
     # ------------------------------------------------------------------
     def _check_pair(self, s: int, r: int) -> None:
         """Audit the token pool governing ``s -> r`` paid traffic."""
+        if (s, r) in self._suspended:
+            return  # mid-recovery: resynced and re-checked at re-arm
         conn_sr = self._endpoints[s].connections.get(r)
         conn_rs = self._endpoints[r].connections.get(s)
         if conn_sr is None or conn_rs is None:
@@ -238,7 +288,8 @@ class Auditor:
         self._consumed_unsent[key] += 1
         self._check_pair(*key)
 
-    def on_emit(self, conn: "Connection", header: "Header", ctx_kind: str) -> None:
+    def on_emit(self, conn: "Connection", header: "Header", ctx_kind: str,
+                replay: bool = False) -> None:
         self.hook_calls += 1
         self._progress()
         e, p = conn.endpoint.rank, conn.peer
@@ -252,28 +303,33 @@ class Auditor:
                     f"rank {e}: {self._lease[e]} leased send vbufs but the "
                     f"pool reports {pool.in_use} in use",
                 )
-        # (c) backlog FIFO / went_backlog bit
-        hid = id(header)
-        if header.went_backlog:
-            if hid in self._dequeued:
-                self._dequeued.discard(hid)
-            elif not (header.kind is MsgKind.RNDV_RTS and not header.paid):
-                # the rendezvous fallback mints a fresh unpaid RTS for the
-                # dequeued message; anything else claiming the bit without
-                # passing through the backlog is lying to the receiver
+        # (c) backlog FIFO / went_backlog bit — skipped for a recovery
+        # replay: the header passed these checks at its first emission and
+        # its backlog passage was consumed then
+        if not replay:
+            hid = id(header)
+            if header.went_backlog:
+                if hid in self._dequeued:
+                    self._dequeued.discard(hid)
+                elif not (header.kind is MsgKind.RNDV_RTS and not header.paid):
+                    # the rendezvous fallback mints a fresh unpaid RTS for
+                    # the dequeued message; anything else claiming the bit
+                    # without passing through the backlog is lying to the
+                    # receiver
+                    self._violate(
+                        "backlog-feedback-bit",
+                        f"{e}->{p}: {header.kind.name} seq={header.seq} "
+                        "carries went_backlog but never passed through the "
+                        "backlog",
+                        pair=(e, p),
+                    )
+            elif header.paid and self._shadow[(e, p)]:
                 self._violate(
-                    "backlog-feedback-bit",
-                    f"{e}->{p}: {header.kind.name} seq={header.seq} carries "
-                    "went_backlog but never passed through the backlog",
+                    "backlog-fifo",
+                    f"{e}->{p}: paid {header.kind.name} seq={header.seq} "
+                    f"overtook {len(self._shadow[(e, p)])} backlogged send(s)",
                     pair=(e, p),
                 )
-        elif header.paid and self._shadow[(e, p)]:
-            self._violate(
-                "backlog-fifo",
-                f"{e}->{p}: paid {header.kind.name} seq={header.seq} "
-                f"overtook {len(self._shadow[(e, p)])} backlogged send(s)",
-                pair=(e, p),
-            )
         # (a) ledger movements
         if self._uses_credits:
             if header.paid:
@@ -506,7 +562,7 @@ class Auditor:
             if ep._send_ctx or ep._rndv_send or ep._rndv_recv or len(ep.cq):
                 return True
             for conn in ep.connections.values():
-                if conn.backlog or conn.qp.outstanding_sends:
+                if conn.backlog or conn.deferred or conn.qp.outstanding_sends:
                     return True
         return False
 

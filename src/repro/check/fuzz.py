@@ -37,8 +37,11 @@ SPEC_VERSION = 1
 #: evaluation order — every workload runs under all three
 DEFAULT_SCHEMES = ("hardware", "static", "dynamic")
 
-#: fault scenarios the fuzzer cycles through (None = healthy fabric)
-SCENARIOS = (None, "receiver-stall", "lossy-window")
+#: fault scenarios the fuzzer cycles through (None = healthy fabric).
+#: ``link-down`` runs with the connection recovery subsystem installed: a
+#: link outage outlives a finite transport retry budget, the QP pairs go
+#: fatal, and the recovered runs must still agree across schemes.
+SCENARIOS = (None, "receiver-stall", "lossy-window", "link-down")
 
 #: message-size ladder, eager-weighted (eager_max is 1984 with the default
 #: 2 KB vbuf / 64 B header split; 2000+ goes rendezvous)
@@ -83,6 +86,21 @@ def generate_spec(seed: int, scenario: Optional[str] = None) -> Dict[str, Any]:
             )
             .to_spec()
         )
+    elif scenario == "link-down":
+        # An outage longer than the finite go-back-N budget (40 us timeout,
+        # 3 retries): every QP pair crossing the link goes fatal and must
+        # be re-established by the recovery subsystem.
+        faults = (
+            FaultPlan(
+                seed=seed, transport_timeout_ns=us(40), transport_retry_limit=3
+            )
+            .link_flap(
+                lid=rng.randrange(nranks),
+                at_ns=us(30),
+                duration_ns=us(rng.randrange(300, 801)),
+            )
+            .to_spec()
+        )
     elif scenario is not None:
         raise ValueError(f"unknown fuzz scenario {scenario!r} (know {SCENARIOS})")
     return {
@@ -92,6 +110,7 @@ def generate_spec(seed: int, scenario: Optional[str] = None) -> Dict[str, Any]:
         "prepost": prepost,
         "ecm_threshold": ecm_threshold,
         "scenario": scenario,
+        "recovery": scenario == "link-down",
         "faults": faults,
         "messages": messages,
     }
@@ -183,6 +202,13 @@ def run_spec(spec: Dict[str, Any], scheme_name: str) -> Dict[str, Any]:
     faults = FaultPlan.from_spec(spec["faults"]) if spec.get("faults") else None
     auditor = Auditor()
     nranks = int(spec["nranks"])
+    recovery: Any = False
+    if spec.get("recovery"):
+        from repro.recovery import RecoveryPolicy
+
+        # generous attempt budget: the fuzzer probes resync correctness,
+        # not budget exhaustion (tests/test_recovery.py covers that)
+        recovery = RecoveryPolicy(max_attempts=12, seed=int(spec["seed"]))
     try:
         result = run_job(
             build_program(spec),
@@ -192,6 +218,7 @@ def run_spec(spec: Dict[str, Any], scheme_name: str) -> Dict[str, Any]:
             config=TestbedConfig(nodes=nranks),
             faults=faults,
             audit=auditor,
+            recovery=recovery,
         )
     except InvariantViolation as v:
         return {
@@ -206,6 +233,15 @@ def run_spec(spec: Dict[str, Any], scheme_name: str) -> Dict[str, Any]:
             "ok": False,
             "kind": type(exc).__name__,
             "detail": str(exc),
+            "audit": auditor.summary(),
+        }
+    if result.failures:
+        # a QP pair was lost for good (recovery attempt budget exhausted)
+        f = result.failures[0]
+        return {
+            "ok": False,
+            "kind": "connection-failure",
+            "detail": str(f),
             "audit": auditor.summary(),
         }
     delivered = sorted(

@@ -171,10 +171,11 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
 def _chaos_report(args: argparse.Namespace) -> dict:
     specs = grids.chaos_grid(scenarios=[args.scenario], schemes=args.schemes,
-                             seed=args.seed, prepost=args.prepost)
+                             seed=args.seed, prepost=args.prepost,
+                             recovery=args.recovery)
     res = run_cells(specs, workers=args.workers)
     report = chaos_report_header(args.scenario, seed=args.seed,
-                                 prepost=args.prepost)
+                                 prepost=args.prepost, recovery=args.recovery)
     for out in res.outcomes:
         report["schemes"][out.spec.params["scheme"]] = out.metrics
     return report
@@ -194,19 +195,32 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         table = Table(
             f"Chaos '{report['scenario']}' seed={report['seed']} "
             f"prepost={report['prepost']} "
+            f"recovery={'on' if report['recovery'] else 'off'} "
             f"(faults end at {report['fault_window_us']:.0f} us)",
             ["done", "time_us", "recovery_us", "retrans", "rnr_naks",
-             "backlog_max", "ecms", "fallbacks"],
+             "backlog_max", "ecms", "fallbacks", "reconnects", "replayed"],
         )
         for scheme, entry in report["schemes"].items():
+            rec = entry.get("recovery")
+            reconnects = rec["completed"] if rec else "-"
+            replayed = rec["messages_replayed"] if rec else "-"
             if entry.get("completed"):
                 table.add_row(scheme, "yes", entry["elapsed_us"],
                               entry["recovery_us"], entry["retransmissions"],
                               entry["rnr_naks"], entry["backlog_max"],
-                              entry["ecm_msgs"], entry["rndv_fallbacks"])
+                              entry["ecm_msgs"], entry["rndv_fallbacks"],
+                              reconnects, replayed)
+            elif "failures" in entry:
+                f = entry["failures"][0]
+                detail = (f"{f['cause']} {f['rank']}<->{f['peer']} "
+                          f"attempts={f['attempts']}")
+                # the name column auto-sizes; the value columns do not
+                table.add_row(f"{scheme}: {detail}", "FAILED",
+                              "-", "-", "-", "-", "-", "-", "-",
+                              reconnects, replayed)
             else:
-                table.add_row(scheme, "FAILED", entry["error"],
-                              "-", "-", "-", "-", "-", "-")
+                table.add_row(f"{scheme}: {entry['error']}", "FAILED",
+                              "-", "-", "-", "-", "-", "-", "-", "-", "-")
         print(table.render())
     if args.check:
         print("determinism check passed (two runs bit-identical)",
@@ -442,6 +456,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="receive buffers per connection (default: scenario's)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for the per-scheme cells")
+    p.add_argument("--recovery", action="store_true",
+                   help="install the connection recovery subsystem "
+                        "(repro.recovery): lost QP pairs are re-established "
+                        "with credit resync instead of failing the run")
     p.add_argument("--json", action="store_true",
                    help="emit the report as canonical JSON")
     p.add_argument("--check", action="store_true",
@@ -460,9 +478,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schemes", nargs="+", default=list(SCHEMES),
                    choices=SCHEMES, help="schemes every workload runs under")
     p.add_argument("--scenarios", nargs="+",
-                   default=["none", "receiver-stall", "lossy-window"],
-                   choices=["none", "receiver-stall", "lossy-window"],
-                   help="fault scenarios cycled across runs")
+                   default=["none", "receiver-stall", "lossy-window",
+                            "link-down"],
+                   choices=["none", "receiver-stall", "lossy-window",
+                            "link-down"],
+                   help="fault scenarios cycled across runs (link-down "
+                        "runs under the connection recovery subsystem)")
     p.add_argument("--out-dir", default="fuzz-failures",
                    help="where minimized replay artifacts land ('' to skip)")
     p.add_argument("--max-shrink", type=int, default=200,

@@ -45,6 +45,7 @@ class Cluster:
         self.endpoints: List[Endpoint] = []
         self.cm = None  # set when launched with on_demand=True
         self.auditor = None  # repro.check.Auditor, when attached
+        self.recovery = None  # repro.recovery.RecoveryManager, when installed
 
     # ------------------------------------------------------------------
     def node_of_rank(self, rank: int) -> int:

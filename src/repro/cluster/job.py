@@ -44,6 +44,16 @@ class JobResult:
     connections_established: Optional[int] = None
     #: the runtime invariant auditor, when the job ran with ``audit=``
     audit: Any = field(repr=False, default=None)
+    #: structured per-pair connection-loss records (repro.recovery).  Empty
+    #: on success; populated instead of raising/hanging when a QP pair is
+    #: lost for good (recovery disabled, or its attempt budget exhausted)
+    failures: List[Any] = field(default_factory=list)
+    #: the recovery manager, when the job ran with ``recovery=``
+    recovery: Any = field(repr=False, default=None)
+
+    @property
+    def completed(self) -> bool:
+        return not self.failures
 
     @property
     def elapsed_us(self) -> float:
@@ -79,6 +89,7 @@ def run_job(
     max_events: int = MAX_JOB_EVENTS,
     faults: Optional[Any] = None,
     audit: Union[bool, Any] = False,
+    recovery: Union[bool, Any] = False,
     cluster: Optional[Cluster] = None,
 ) -> JobResult:
     """Build a cluster, run ``program`` on every rank, return the result.
@@ -109,6 +120,11 @@ def run_job(
         pre-built auditor instance.  Invariant violations raise
         :class:`repro.check.InvariantViolation`; the attached auditor is
         returned on ``JobResult.audit``.
+    recovery:
+        ``True`` to install a :class:`repro.recovery.RecoveryManager`
+        (default policy), or a :class:`repro.recovery.RecoveryPolicy` for
+        custom backoff/attempt budgets.  Without it a fatal completion
+        surfaces as a structured record on ``JobResult.failures``.
     cluster:
         Reuse an already-launched cluster instead of building a fresh one
         (the scheme/nranks must match what it was launched with).  Its
@@ -149,6 +165,18 @@ def run_job(
         for ep in endpoints:
             ep._audit = None
 
+    recovery_mgr = None
+    if recovery:
+        from repro.recovery import RecoveryManager, RecoveryPolicy
+
+        policy = recovery if isinstance(recovery, RecoveryPolicy) else None
+        recovery_mgr = RecoveryManager(cluster, policy).install()
+    elif cluster.recovery is not None:
+        # a prior recovered job on this cluster left hooks armed — disarm
+        cluster.recovery = None
+        for ep in endpoints:
+            ep._recovery = None
+
     if faults is not None:
         from repro.faults import FaultInjector, FaultPlan
 
@@ -167,20 +195,37 @@ def run_job(
         return result
 
     procs = [cluster.sim.spawn(wrap(ep), name=f"rank{ep.rank}") for ep in endpoints]
-    cluster.sim.run(max_events=cluster.sim.events_executed + max_events)
 
-    failed = [p for p in procs if p.failure is not None]
+    from repro.recovery.failures import ConnectionFailedError
+
+    failures: List[Any] = []
+    try:
+        cluster.sim.run(max_events=cluster.sim.events_executed + max_events)
+    except ConnectionFailedError as exc:
+        failures.append(exc.failure)
+
+    for p in procs:
+        if isinstance(p.failure, ConnectionFailedError):
+            if p.failure.failure not in failures:
+                failures.append(p.failure.failure)
+    if recovery_mgr is not None:
+        for f in recovery_mgr.failures:
+            if f not in failures:
+                failures.append(f)
+
+    failed = [p for p in procs if p.failure is not None
+              and not isinstance(p.failure, ConnectionFailedError)]
     if failed:
         raise failed[0].failure
-    hung = [p for p in procs if p.alive]
-    if hung:
-        raise RuntimeError(
-            f"deadlock: ranks {[p.name for p in hung]} never finished "
-            f"(sim time {cluster.sim.now} ns)"
-        )
-
-    if auditor is not None:
-        auditor.final_check(expect_quiescent=finalize)
+    if not failures:
+        hung = [p for p in procs if p.alive]
+        if hung:
+            raise RuntimeError(
+                f"deadlock: ranks {[p.name for p in hung]} never finished "
+                f"(sim time {cluster.sim.now} ns)"
+            )
+        if auditor is not None:
+            auditor.final_check(expect_quiescent=finalize)
 
     return JobResult(
         scheme=scheme.name.value,
@@ -194,4 +239,6 @@ def run_job(
         tracer=cluster.tracer,
         connections_established=(cluster.cm.established if cluster.cm else None),
         audit=auditor,
+        failures=failures,
+        recovery=recovery_mgr,
     )

@@ -15,6 +15,16 @@ down twice.  Wire loss exercises the transport ACK-timeout replay path
 ``lossy-window`` — the flood again under a probabilistic drop window
 (seeded RNG, deterministic), the bounded-retry recovery stressor.
 
+``link-down-permanent`` — the flood through a link outage that outlives a
+*finite* transport retry budget: the QP pair goes fatal mid-stream.  With
+``--recovery`` the connection recovery subsystem re-establishes the pair
+and replays the un-acked suffix; without it the run reports a structured
+connection failure instead of hanging.
+
+``retry-budget`` — the receiver-stall burst with a finite RNR retry count:
+the hardware scheme (whose only flow control *is* the RNR timer) blows its
+retry budget while the user-level schemes ride through on credits.
+
 ``run_chaos`` runs the requested schemes under a scenario and returns a
 plain-dict report (stable key order) so the CLI can render/serialise it
 and the determinism check can compare two runs byte-for-byte.
@@ -24,6 +34,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, Iterable, Optional
 
+from repro.cluster.config import TestbedConfig
 from repro.cluster.job import run_job
 from repro.faults.plan import FaultPlan
 from repro.sim.units import to_us, us
@@ -80,6 +91,7 @@ class Scenario:
         prepost: int,
         make_program: Callable[[], Callable],
         make_plan: Callable[[int], FaultPlan],
+        make_config: Optional[Callable[[], TestbedConfig]] = None,
     ):
         self.name = name
         self.description = description
@@ -87,6 +99,9 @@ class Scenario:
         self.prepost = prepost
         self.make_program = make_program
         self.make_plan = make_plan
+        #: scenario-specific testbed overrides (e.g. finite RNR retries);
+        #: None = the calibrated defaults
+        self.make_config = make_config
 
 
 def _receiver_stall_plan(seed: int) -> FaultPlan:
@@ -111,6 +126,32 @@ def _lossy_window_plan(seed: int) -> FaultPlan:
     return FaultPlan(seed=seed).drop_window(
         at_ns=us(50), duration_ns=us(350), probability=0.15, lids=(0, 1)
     )
+
+
+def _link_down_plan(seed: int) -> FaultPlan:
+    # A 1.5 ms outage against a 40 us ACK timeout with only 4 transport
+    # retries: the go-back-N ladder is exhausted long before the link
+    # returns, so the QP pair goes fatal (RETRY_EXCEEDED) mid-stream.
+    return FaultPlan(
+        seed=seed, transport_timeout_ns=us(40), transport_retry_limit=4
+    ).link_flap(lid=1, at_ns=us(100), duration_ns=us(1500))
+
+
+def _retry_budget_plan(seed: int) -> FaultPlan:
+    # Same starvation window as receiver-stall; the finite RNR budget
+    # comes from the scenario's config override.
+    return FaultPlan(seed=seed).receiver_stall(
+        rank=1, at_ns=us(5), duration_ns=us(3200)
+    )
+
+
+def _retry_budget_config() -> TestbedConfig:
+    cfg = TestbedConfig()
+    # 3 RNR retries instead of the verbs "infinite" sentinel: the paper's
+    # hardware scheme leans on unbounded RNR replay, so a bounded budget
+    # turns sustained starvation into a fatal completion.
+    cfg.ib.rnr_retry_count = 3
+    return cfg
 
 
 SCENARIOS: Dict[str, Scenario] = {
@@ -141,6 +182,23 @@ SCENARIOS: Dict[str, Scenario] = {
         make_program=lambda: _flood_program(msgs=150, msg_bytes=1024),
         make_plan=_lossy_window_plan,
     ),
+    "link-down-permanent": Scenario(
+        "link-down-permanent",
+        "2-rank flood; link outage outlives the transport retry budget",
+        nranks=2,
+        prepost=8,
+        make_program=lambda: _flood_program(msgs=30, msg_bytes=1024),
+        make_plan=_link_down_plan,
+    ),
+    "retry-budget": Scenario(
+        "retry-budget",
+        "receiver-stall burst with a finite (3) RNR retry budget",
+        nranks=2,
+        prepost=4,
+        make_program=lambda: _flood_program(msgs=7, msg_bytes=1024),
+        make_plan=_retry_budget_plan,
+        make_config=_retry_budget_config,
+    ),
 }
 
 
@@ -161,29 +219,47 @@ def chaos_cell(
     scheme: str,
     seed: int = 7,
     prepost: Optional[int] = None,
+    recovery: bool = False,
 ) -> Dict:
     """Run one scheme under the named scenario and return its report entry.
 
     This is the unit of work the campaign orchestrator fans out
     (``repro.campaign``); :func:`run_chaos` assembles the same entries
     sequentially, so the two paths are bit-identical by construction.
+
+    With ``recovery=True`` the job runs under the connection recovery
+    subsystem and the entry gains a ``recovery`` sub-dict (reconnect
+    attempts/latency, messages replayed).  A job that loses a QP pair for
+    good reports ``completed: False`` with the structured failure records
+    instead of an exception string.
     """
     sc = _scenario(scenario)
     depth = sc.prepost if prepost is None else prepost
     plan = sc.make_plan(seed)  # fresh plan (and RNG) per run
     plan_end = plan.end_ns
+    config = sc.make_config() if sc.make_config is not None else None
     try:
         result = run_job(
-            sc.make_program(), sc.nranks, scheme, depth, faults=plan
+            sc.make_program(), sc.nranks, scheme, depth,
+            config=config, faults=plan, recovery=recovery,
         )
     except Exception as exc:  # deterministic failures are part of the report
         return {
             "completed": False,
             "error": f"{type(exc).__name__}: {exc}",
         }
+    mgr = result.recovery
+    if result.failures:
+        entry = {
+            "completed": False,
+            "failures": [f.to_dict() for f in result.failures],
+        }
+        if mgr is not None:
+            entry["recovery"] = mgr.summary()
+        return entry
     fc = result.fc
     summary = result.tracer.summary()
-    return {
+    entry = {
         "completed": True,
         "elapsed_us": result.elapsed_us,
         "recovery_us": to_us(max(0, result.elapsed_ns - plan_end)),
@@ -199,10 +275,14 @@ def chaos_cell(
             if name.startswith("faults.")
         },
     }
+    if mgr is not None:
+        entry["recovery"] = mgr.summary()
+    return entry
 
 
 def chaos_report_header(
-    scenario: str, seed: int = 7, prepost: Optional[int] = None
+    scenario: str, seed: int = 7, prepost: Optional[int] = None,
+    recovery: bool = False,
 ) -> Dict:
     """The scenario-level fields shared by every scheme's entry."""
     sc = _scenario(scenario)
@@ -213,6 +293,7 @@ def chaos_report_header(
         "seed": seed,
         "nranks": sc.nranks,
         "prepost": depth,
+        "recovery": recovery,
         "fault_window_us": to_us(sc.make_plan(seed).end_ns),
         "schemes": {},
     }
@@ -223,12 +304,14 @@ def run_chaos(
     seed: int = 7,
     schemes: Iterable[str] = SCHEMES,
     prepost: Optional[int] = None,
+    recovery: bool = False,
 ) -> Dict:
     """Run ``schemes`` under the named scenario; returns the robustness
     report as a plain dict (deterministic content for a fixed seed)."""
-    report = chaos_report_header(scenario, seed=seed, prepost=prepost)
+    report = chaos_report_header(scenario, seed=seed, prepost=prepost,
+                                 recovery=recovery)
     for scheme in schemes:
         report["schemes"][scheme] = chaos_cell(
-            scenario, scheme, seed=seed, prepost=prepost
+            scenario, scheme, seed=seed, prepost=prepost, recovery=recovery
         )
     return report

@@ -238,6 +238,7 @@ class HCA:
         response.rkey = 0
         response.is_read_response = True
         response.read_wr_msn = msg.msn
+        response.epoch = msg.epoch  # stale-epoch requests get stale responses
         start = max(self.sim.now, self._send_busy)
         cost = self.config.hca_send_wqe_ns + self.config.dma_startup_ns
         self._send_busy = start + cost

@@ -56,6 +56,7 @@ class _Message:
         "rkey",
         "is_read_response",
         "read_wr_msn",
+        "epoch",
     )
 
     def __init__(self, qp: "QueuePair", wr: SendWR):
@@ -71,6 +72,7 @@ class _Message:
         self.rkey = wr.rkey
         self.is_read_response = False
         self.read_wr_msn = -1
+        self.epoch = qp.epoch
 
 
 class QueuePair:
@@ -99,6 +101,11 @@ class QueuePair:
         self.remote_lid = -1
         self.remote_qpn = -1
         self._peer_qp: Optional["QueuePair"] = None  # resolved lazily
+        #: connection incarnation — bumped by :meth:`reset` so in-flight
+        #: messages and control callbacks from a pre-fault era are
+        #: recognisably stale (MSNs restart at 0 per epoch, so without the
+        #: stamp an old ACK could acknowledge a new message)
+        self.epoch = 0
         # IBConfig is frozen once traffic flows; snapshot the window so the
         # injectability probe (twice per pumped WQE) and the post_recv hot
         # path skip the attribute-chain walk.
@@ -154,6 +161,48 @@ class QueuePair:
         self._peer_qp = None
         self.state = QPState.READY
 
+    def force_error(self) -> None:
+        """Recovery teardown: transition to ERROR and flush outstanding
+        work with ``WR_FLUSH_ERROR`` completions.  Idempotent — a QP that
+        already errored out (and flushed) is left alone, so the recovery
+        manager can call this on both ends of a pair without caring which
+        one detected the fault."""
+        if self.state is QPState.ERROR:
+            return
+        self.state = QPState.ERROR
+        self._flush()
+
+    def reset(self) -> None:
+        """ERROR → RESET (the verbs modify-QP step that precedes
+        re-establishment).  Clears every per-incarnation transport
+        artifact — MSN counters, credit estimate, RNR/ACK-timeout timers —
+        and bumps :attr:`epoch` so anything still in flight from the old
+        incarnation is dropped by the epoch guards.  Fault-mode transport
+        settings (:meth:`enable_transport_retry`) survive, as they model
+        static QP attributes."""
+        if self.state is not QPState.ERROR:
+            raise QPError(f"QP {self.qp_num}: reset() in state {self.state}")
+        if self._rnr_timer_ev is not None:  # defensive; _flush cancels these
+            self._rnr_timer_ev.cancel()
+            self._rnr_timer_ev = None
+        if self._xport_timer is not None:
+            self._xport_timer.cancel()
+            self._xport_timer = None
+        self.state = QPState.RESET
+        self.epoch += 1
+        self._sq.clear()
+        self._inflight.clear()
+        self._next_msn = 0
+        self._rnr_waiting = False
+        self._credit_est = None
+        self._credit_est_msn = -1
+        self._sends_inflight = 0
+        self._rq.clear()
+        self._expected_msn = 0
+        self._advertised_zero = False
+        self._xport_acks = 0
+        self._xport_seen = 0
+
     def set_initial_credit_estimate(self, credits: Optional[int]) -> None:
         """Seed the requester's view of remote receive WQEs (the consumer
         knows how many buffers it pre-posted on the other side)."""
@@ -200,6 +249,7 @@ class QueuePair:
                 self.remote_lid,
                 self._peer()._on_credit_update,
                 len(self._rq),
+                self.epoch,
             )
 
     @property
@@ -259,7 +309,9 @@ class QueuePair:
     # ------------------------------------------------------------------
     # requester: acknowledgement handling
     # ------------------------------------------------------------------
-    def _on_ack(self, msn: int, advertised: int) -> None:
+    def _on_ack(self, msn: int, advertised: int, epoch: int = 0) -> None:
+        if epoch != self.epoch:
+            return  # ACK from a pre-recovery incarnation (MSNs restarted)
         wr = self._inflight.pop(msn, None)
         if wr is None:
             return  # duplicate / stale ACK from a replay era
@@ -287,12 +339,16 @@ class QueuePair:
             )
         self.hca._kick(self)
 
-    def _on_credit_update(self, advertised: int) -> None:
+    def _on_credit_update(self, advertised: int, epoch: int = 0) -> None:
+        if epoch != self.epoch:
+            return
         if self._credit_est is not None:
             self._credit_est = advertised - self._sends_inflight
             self.hca._kick(self)
 
-    def _on_rnr_nak(self, msn: int) -> None:
+    def _on_rnr_nak(self, msn: int, epoch: int = 0) -> None:
+        if epoch != self.epoch:
+            return
         if msn not in self._inflight or self._rnr_waiting:
             return  # duplicate NAK for a message already being replayed
         self.rnr_naks_received += 1
@@ -312,8 +368,17 @@ class QueuePair:
             self._fatal(wr, WCStatus.RNR_RETRY_EXCEEDED)
             return
 
+        delay = cfg.rnr_timer_ns
+        if cfg.rnr_backoff_factor != 1.0 and tries > 1:
+            # Exponential backoff on consecutive NAKs for the same message;
+            # rnr_tries resets to 0 on any ACK, so one delivered message
+            # snaps the wait back to the base timer.
+            delay = min(
+                int(delay * cfg.rnr_backoff_factor ** (tries - 1)),
+                cfg.rnr_backoff_max_ns,
+            )
         self._rnr_waiting = True
-        self._rnr_timer_ev = self.hca.sim.schedule(cfg.rnr_timer_ns, self._rnr_expire, msn)
+        self._rnr_timer_ev = self.hca.sim.schedule(delay, self._rnr_expire, msn)
 
     def _rnr_expire(self, nak_msn: int) -> None:
         self._rnr_waiting = False
@@ -408,7 +473,9 @@ class QueuePair:
             )
         self.hca._kick(self)
 
-    def _on_remote_error(self, msn: int, status: WCStatus) -> None:
+    def _on_remote_error(self, msn: int, status: WCStatus, epoch: int = 0) -> None:
+        if epoch != self.epoch:
+            return
         wr = self._inflight.pop(msn, None)
         if wr is None:
             return
@@ -417,12 +484,6 @@ class QueuePair:
     def _fatal(self, wr: SendWR, status: WCStatus) -> None:
         """Complete ``wr`` with an error and flush the QP."""
         self.state = QPState.ERROR
-        if self._rnr_timer_ev is not None:
-            self._rnr_timer_ev.cancel()
-            self._rnr_timer_ev = None
-        if self._xport_timer is not None:
-            self._xport_timer.cancel()
-            self._xport_timer = None
         self.send_cq.push(
             WC(
                 wr_id=wr.wr_id,
@@ -432,6 +493,17 @@ class QueuePair:
                 peer=self.remote_lid,
             )
         )
+        self._flush()
+
+    def _flush(self) -> None:
+        """Cancel timers and flush both work queues with WR_FLUSH_ERROR
+        completions (the QP is already in ERROR state)."""
+        if self._rnr_timer_ev is not None:
+            self._rnr_timer_ev.cancel()
+            self._rnr_timer_ev = None
+        if self._xport_timer is not None:
+            self._xport_timer.cancel()
+            self._xport_timer = None
         for pending in list(self._inflight.values()) + list(self._sq):
             self.send_cq.push(
                 WC(
@@ -463,6 +535,8 @@ class QueuePair:
     def _receive(self, msg: _Message) -> None:
         if self.state is not QPState.READY:
             return  # drops on dead QPs
+        if msg.epoch != self.epoch:
+            return  # in-flight data from a pre-recovery incarnation
         if msg.is_read_response:
             self._on_read_response(msg)
             return
@@ -491,7 +565,11 @@ class QueuePair:
                 self.hca.tracer.count("ib.rnr_nak_sent", (self.hca.lid, msg.src_lid))
                 self._advertised_zero = True
                 self.hca.fabric.send_control(
-                    self.hca.lid, msg.src_lid, self._peer()._on_rnr_nak, msg.msn
+                    self.hca.lid,
+                    msg.src_lid,
+                    self._peer()._on_rnr_nak,
+                    msg.msn,
+                    self.epoch,
                 )
                 return
             rwr = self._rq[0]
@@ -516,6 +594,7 @@ class QueuePair:
                     self._peer()._on_remote_error,
                     msg.msn,
                     WCStatus.REMOTE_ACCESS_ERROR,
+                    self.epoch,
                 )
                 return
             self._rq.popleft()
@@ -532,6 +611,7 @@ class QueuePair:
                     self._peer()._on_remote_error,
                     msg.msn,
                     WCStatus.REMOTE_ACCESS_ERROR,
+                    self.epoch,
                 )
                 return
             mr.store(msg.remote_addr, msg.payload)
@@ -549,6 +629,7 @@ class QueuePair:
                     self._peer()._on_remote_error,
                     msg.msn,
                     WCStatus.REMOTE_ACCESS_ERROR,
+                    self.epoch,
                 )
                 return
             self._expected_msn += 1
@@ -597,7 +678,12 @@ class QueuePair:
         advertised = len(self._rq)
         self._advertised_zero = advertised == 0
         self.hca.fabric.send_control(
-            self.hca.lid, msg.src_lid, self._peer()._on_ack, msg.msn, advertised
+            self.hca.lid,
+            msg.src_lid,
+            self._peer()._on_ack,
+            msg.msn,
+            advertised,
+            self.epoch,
         )
 
     def __repr__(self) -> str:  # pragma: no cover

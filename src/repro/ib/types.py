@@ -92,6 +92,17 @@ class IBConfig:
     rnr_retry_count:
         Number of RNR retries before the QP errors out;
         :data:`INFINITE_RETRY` retries forever.
+    rnr_backoff_factor:
+        Multiplier applied to ``rnr_timer_ns`` on every *consecutive* RNR
+        NAK for the same message (1.0 = the IBA's fixed timer).  Values
+        above 1.0 turn the fixed wait into exponential backoff, trading
+        recovery latency for retransmission-storm suppression — the knob
+        ``benchmarks/test_ablation_rnr_timer.py`` re-examines the paper's
+        RNR-timer sensitivity claim under.
+    rnr_backoff_max_ns:
+        Ceiling for the backed-off wait (IBA's encodable maximum is
+        655 ms; the default cap is far below that so backoff stays inside
+        benchmark timescales).
     e2e_credit_updates:
         When True the responder sends unsolicited credit-update ACKs as
         soon as new receive WQEs are posted, letting a blocked requester
@@ -123,6 +134,8 @@ class IBConfig:
     # --- reliability ---------------------------------------------------
     rnr_timer_ns: int = us(320)
     rnr_retry_count: int = INFINITE_RETRY
+    rnr_backoff_factor: float = 1.0
+    rnr_backoff_max_ns: int = us(10_000)
     max_inflight_msgs: int = 128  # requester pipelining window per QP
     e2e_credit_updates: bool = False
 

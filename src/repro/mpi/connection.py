@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Deque, Optional
 
 from repro.ib.qp import QueuePair
+from repro.ib.types import QPState
 from repro.mpi.protocol import Header
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -85,6 +86,14 @@ class Connection:
         self.pending_credit_return = 0
         self.seq_in_expected = 0
 
+        # --- recovery (inert unless a RecoveryManager is installed) ---
+        #: True while the underlying QP pair is being re-established; new
+        #: emissions park in ``deferred`` instead of touching the QP
+        self.recovering = False
+        #: (header, ctx_kind, ref, control) tuples parked during recovery,
+        #: re-emitted FIFO (after replays) once the QP re-arms
+        self.deferred: Deque[tuple] = deque()
+
         self.stats = ConnStats()
 
     # ------------------------------------------------------------------
@@ -124,6 +133,11 @@ class Connection:
         """
         if self.endpoint._stall_until > self.endpoint.sim.now:
             return 0  # receiver stalled (fault injection): no reposts
+        if self.qp.state is not QPState.READY:
+            # Recovery window: the QP cannot accept WQEs (post_recv would
+            # raise in ERROR state).  The resync refill restores the
+            # population once the QP is re-armed.
+            return 0
         if self.rdma_eager:
             budget = self.endpoint.config.rdma_control_bufs
         else:

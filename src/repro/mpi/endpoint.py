@@ -26,7 +26,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Set
 
 from repro.core.base import FlowControlScheme
 from repro.ib.hca import HCA
-from repro.ib.types import Opcode
+from repro.ib.types import Opcode, QPState
 from repro.ib.wr import RecvWR, SendWR, WC
 from repro.mpi.buffer_pool import SendBufferPool
 from repro.mpi.config import MPIConfig
@@ -117,6 +117,9 @@ class Endpoint:
         #: every hook site below is guarded so the disabled cost is one
         #: attribute load + None test.
         self._audit = None
+        #: connection recovery manager (repro.recovery); None = disabled,
+        #: same zero-cost hook pattern as the auditor.
+        self._recovery = None
 
         # observability
         self.bytes_sent = 0
@@ -152,6 +155,12 @@ class Endpoint:
             tx.tx_ring_next = 0
 
     def _post_recv_vbuf(self, conn: Connection) -> None:
+        if conn.qp.state is not QPState.READY:
+            # Recovery window: the QP cannot accept WQEs (post_recv raises
+            # in ERROR state).  The credit for a paid message processed in
+            # this window is still granted by the caller; the physical
+            # buffer population is restored by the resync refill.
+            return
         conn.qp.post_recv(RecvWR(wr_id=conn.peer, capacity=self.config.vbuf_bytes))
         conn.recv_posted += 1
         if self._audit is not None:
@@ -219,7 +228,13 @@ class Endpoint:
             )
             # A non-empty backlog forces FIFO (MPI non-overtaking): new
             # sends may not jump the queue even if a credit is available.
-            if not conn.backlog and self.scheme.try_consume_credit(conn):
+            # A recovering connection parks everything in the backlog too —
+            # its credit state is stale until the resync.
+            if (
+                not conn.backlog
+                and not conn.recovering
+                and self.scheme.try_consume_credit(conn)
+            ):
                 if self._audit is not None:
                     self._audit.on_consume(conn)
                 if conn.rdma_eager:
@@ -265,7 +280,11 @@ class Endpoint:
                 sreq_id=op.sreq_id,
                 paid=True,
             )
-            if not conn.backlog and self.scheme.try_consume_credit(conn):
+            if (
+                not conn.backlog
+                and not conn.recovering
+                and self.scheme.try_consume_credit(conn)
+            ):
                 if self._audit is not None:
                     self._audit.on_consume(conn)
                 yield from self._await_pool(control=False)
@@ -495,7 +514,10 @@ class Endpoint:
     def _locally_quiescent(self) -> bool:
         return (
             all(
-                not c.backlog and c.qp.outstanding_sends == 0
+                not c.backlog
+                and not c.recovering
+                and not c.deferred
+                and c.qp.outstanding_sends == 0
                 for c in self.connections.values()
             )
             and not self._rndv_send
@@ -613,10 +635,62 @@ class Endpoint:
 
     def _handle_wc(self, wc: WC) -> int:
         if not wc.ok:
-            raise MPIError(f"rank {self.rank}: completion error {wc.status} ({wc})")
+            return self._handle_error_wc(wc)
         if wc.is_recv:
             return self._handle_recv(wc)
         return self._handle_send_done(wc)
+
+    # --- errored completions ---------------------------------------------
+    def _conn_for_qp(self, qp_num: int) -> Optional[Connection]:
+        for conn in self.connections.values():
+            if conn.qp.qp_num == qp_num:
+                return conn
+        return None
+
+    def _reclaim_error_wc(self, wc: WC) -> Optional[tuple]:
+        """Undo the local bookkeeping an errored/flushed completion
+        invalidates: release the send-pool vbuf for eager/control sends
+        and drop the posted-recv count for flushed receives.  Returns the
+        popped send context (or None), so the recovery manager can decide
+        what to replay."""
+        if wc.is_recv:
+            conn = self._conn_for_qp(wc.qp_num)
+            if conn is not None:
+                conn.recv_posted -= 1
+            return None
+        ctx = self._send_ctx.pop(wc.wr_id, None)
+        if ctx is None:
+            return None
+        if ctx[0] in ("eager", "ctl"):
+            self.pool.release()
+            if self._audit is not None:
+                self._audit.on_send_done(self)
+        return ctx
+
+    def _handle_error_wc(self, wc: WC) -> int:
+        """A completion with non-success status.  With a recovery manager
+        installed this begins (or feeds) a QP-pair re-establishment;
+        without one, the job fails promptly with a structured record —
+        the pre-recovery behaviour was to leak the vbuf and hang until
+        the progress watchdog tripped."""
+        if self._recovery is not None:
+            return self._recovery.on_error_wc(self, wc)
+        self._reclaim_error_wc(wc)
+        from repro.recovery.failures import ConnectionFailedError, ConnectionFailure
+
+        conn = self._conn_for_qp(wc.qp_num)
+        peer = conn.peer if conn is not None else wc.peer
+        raise ConnectionFailedError(
+            ConnectionFailure(
+                rank=self.rank,
+                peer=peer,
+                scheme=self.scheme.name.value,
+                epoch=conn.qp.epoch if conn is not None else 0,
+                cause=wc.status.value,
+                elapsed_ns=self.sim.now,
+                attempts=0,
+            )
+        )
 
     # --- inbound ---------------------------------------------------------
     def _handle_recv(self, wc: WC) -> int:
@@ -748,10 +822,12 @@ class Endpoint:
             raise MPIError(f"rank {self.rank}: CTS for unknown sreq {h.sreq_id}")
         op.cts_seen = True
         op.fin_rreq_id = h.rreq_id
+        op.cts_remote_addr = h.remote_addr
+        op.cts_rkey = h.rkey
         if op.fallback:
             conn.fallback_inflight -= 1
         ctx_id = next(self._ctx_ids)
-        self._send_ctx[ctx_id] = ("rdma", conn, op)
+        self._send_ctx[ctx_id] = ("rdma", conn, op, None)
         conn.qp.post_send(
             SendWR(
                 wr_id=ctx_id,
@@ -788,7 +864,7 @@ class Endpoint:
         ctx = self._send_ctx.pop(wc.wr_id, None)
         if ctx is None:
             raise MPIError(f"rank {self.rank}: completion for unknown ctx {wc.wr_id}")
-        kind, conn, ref = ctx
+        kind, conn, ref = ctx[0], ctx[1], ctx[2]
         cost = 0
         if kind == "ring":
             pass  # no vbuf was consumed; the request completed at emission
@@ -830,13 +906,19 @@ class Endpoint:
         """Stage a protocol message into a vbuf and post it.  The caller
         must have verified pool availability (``_pool_ok``).  Returns CPU
         cost."""
+        if conn.recovering:
+            # QP pair mid-re-establishment: park the emission (no vbuf, no
+            # sequence number) — the manager re-emits deferred messages
+            # FIFO after the un-acked replays once the QP re-arms.
+            conn.deferred.append((header, ctx_kind, ref, control))
+            return 0
         if not self.pool.try_acquire():
             raise MPIError(f"rank {self.rank}: vbuf pool exhausted (control reserve breached)")
         piggy = conn.take_piggyback_credits()
         header.credits += piggy
         header.seq = conn.next_seq()
         ctx_id = next(self._ctx_ids)
-        self._send_ctx[ctx_id] = (ctx_kind, conn, ref)
+        self._send_ctx[ctx_id] = (ctx_kind, conn, ref, header)
         cfg = self.config
         eager = header.kind is MsgKind.EAGER
         wire = cfg.header_bytes + header.size if eager else cfg.header_bytes
@@ -866,6 +948,51 @@ class Endpoint:
             self._audit.on_emit(conn, header, ctx_kind)
         return cost
 
+    def _replay_emit(self, conn: Connection, header: Header, ctx_kind: str, ref: Any) -> int:
+        """Re-post one un-acked protocol message after QP re-establishment
+        (recovery manager only).  Unlike :meth:`_emit` the header keeps its
+        original sequence number (the receiver never consumed it), carries
+        no credits (pre-fault piggybacked grants are re-minted by the
+        resync), and never re-completes the request — eager requests
+        completed at first emission."""
+        if not self.pool.try_acquire():
+            raise MPIError(
+                f"rank {self.rank}: vbuf pool exhausted during recovery replay"
+            )
+        header.credits = 0
+        ctx_id = next(self._ctx_ids)
+        self._send_ctx[ctx_id] = (ctx_kind, conn, ref, header)
+        cfg = self.config
+        eager = header.kind is MsgKind.EAGER
+        wire = cfg.header_bytes + header.size if eager else cfg.header_bytes
+        conn.qp.post_send(
+            SendWR(wr_id=ctx_id, opcode=Opcode.SEND, length=wire, payload=header)
+        )
+        cost = cfg.post_overhead_ns
+        if eager:
+            cost += cfg.copy_ns(header.size)  # user -> vbuf staging again
+        if self._audit is not None:
+            self._audit.on_emit(conn, header, ctx_kind, replay=True)
+        return cost
+
+    def _replay_rdma(self, conn: Connection, op: RndvSendOp) -> int:
+        """Re-post a flushed rendezvous RDMA write (recovery manager only).
+        Idempotent at the receiver: the landing coordinates from the CTS
+        are stable and ``mr.store`` overwrites in place."""
+        ctx_id = next(self._ctx_ids)
+        self._send_ctx[ctx_id] = ("rdma", conn, op, None)
+        conn.qp.post_send(
+            SendWR(
+                wr_id=ctx_id,
+                opcode=Opcode.RDMA_WRITE,
+                length=op.size,
+                payload=op.payload,
+                remote_addr=op.cts_remote_addr,
+                rkey=op.cts_rkey,
+            )
+        )
+        return self.config.post_overhead_ns
+
     def _emit_ring(self, conn: Connection, header: Header, req) -> int:
         """Write an eager message into the peer's RDMA ring (no vbuf, no
         remote WQE).  Buffered-send semantics: the request completes at
@@ -875,7 +1002,7 @@ class Endpoint:
         header.seq = conn.next_seq()
         header.via_ring = True
         ctx_id = next(self._ctx_ids)
-        self._send_ctx[ctx_id] = ("ring", conn, None)
+        self._send_ctx[ctx_id] = ("ring", conn, None, header)
         conn.qp.post_send(
             SendWR(
                 wr_id=ctx_id,
@@ -999,8 +1126,17 @@ class Endpoint:
         """Process the backlog FIFO: send while credits allow; with zero
         credits, push the head through the rendezvous fallback (one
         handshake at a time per connection)."""
+        if conn.recovering:
+            return 0  # stale credit state; the resync re-drains
         cost = 0
-        while conn.backlog and conn.credits > 0 and self._pool_ok(control=False):
+        # Credit-less schemes only ever backlog while a connection is
+        # recovering; their drain gate is the vbuf pool alone (there are
+        # no credits to wait for, and no fallback to convert to).
+        while (
+            conn.backlog
+            and (conn.credits > 0 or not self.scheme.uses_credits)
+            and self._pool_ok(control=False)
+        ):
             if not self.scheme.try_consume_credit(conn):  # pragma: no cover
                 break
             p = conn.backlog.popleft()

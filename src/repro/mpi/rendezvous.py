@@ -55,6 +55,10 @@ class RndvSendOp:
     cts_seen: bool = False
     data_done: bool = False
     fin_rreq_id: int = -1  # receiver op id, learned from the CTS
+    # landing coordinates from the CTS, kept so connection recovery can
+    # re-post the (idempotent) RDMA write after a QP flush
+    cts_remote_addr: int = 0
+    cts_rkey: int = 0
 
     @property
     def state(self) -> str:

@@ -1,0 +1,17 @@
+"""Connection recovery subsystem (QP re-establishment + credit resync).
+
+Split so the failure types stay import-light (the MPI error path imports
+them) while the manager — which needs the MPI layer's types — loads on
+demand.
+"""
+
+from repro.recovery.failures import ConnectionFailedError, ConnectionFailure
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.policy import RecoveryPolicy
+
+__all__ = [
+    "ConnectionFailedError",
+    "ConnectionFailure",
+    "RecoveryManager",
+    "RecoveryPolicy",
+]

@@ -1,0 +1,48 @@
+"""Structured connection-failure reporting.
+
+A fatal work completion (RNR/transport retry budget exceeded, protection
+fault) either feeds the recovery manager or — with recovery disabled or
+its attempt budget exhausted — surfaces as a :class:`ConnectionFailure`
+record carried by :class:`ConnectionFailedError`.  ``run_job`` catches the
+exception and reports the record on ``JobResult.failures`` instead of
+letting the job hang until the progress watchdog trips.
+
+This module is import-light on purpose: ``repro.mpi.endpoint`` imports it
+from the error path, so it must not import the MPI layer back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class ConnectionFailure:
+    """One unrecoverable rank-pair connection loss."""
+
+    rank: int  #: the rank that detected the fatal completion
+    peer: int  #: the other end of the QP pair
+    scheme: str  #: flow-control scheme name ("hardware" / "static" / ...)
+    epoch: int  #: QP incarnation at the time of failure
+    cause: str  #: WCStatus value of the victim completion
+    elapsed_ns: int  #: simulated time of the failure
+    attempts: int  #: recovery attempts consumed (0 = recovery disabled)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"connection {self.rank}<->{self.peer} failed ({self.cause}) "
+            f"scheme={self.scheme} epoch={self.epoch} "
+            f"attempts={self.attempts} at t={self.elapsed_ns}ns"
+        )
+
+
+class ConnectionFailedError(RuntimeError):
+    """Raised out of the progress engine when a connection is lost for
+    good; carries the structured record for ``JobResult.failures``."""
+
+    def __init__(self, failure: ConnectionFailure):
+        super().__init__(str(failure))
+        self.failure = failure

@@ -1,0 +1,349 @@
+"""Connection recovery: QP re-establishment with credit resynchronization.
+
+A fatal completion (transport/RNR retry budget exceeded, protection fault)
+leaves the QP pair in ERROR with every queued WR flushed.  Real MPI stacks
+over InfiniBand re-run the connection bring-up and *resynchronize the
+flow-control state* — the part the paper's schemes make delicate, because
+credits are distributed state: some live at the sender, some ride in-flight
+headers, some are pinned under unexpected messages at the receiver.
+
+The manager drives one state machine per rank pair:
+
+1. **detect** — the first non-success WC for a pair begins recovery: both
+   connections freeze (``conn.recovering``), the surviving QP half is
+   forced to ERROR so its queued WRs flush too, and every popped send
+   context is collected as a *replay candidate* (per-message ACKs are
+   cumulative and in order, so the flushed contexts are exactly the
+   un-acked suffix).
+
+2. **backoff** — re-arm is scheduled ``min(max_delay, base * factor^(k-1))``
+   plus deterministic per-(pair, attempt) jitter after the fault.  The
+   cumulative attempt budget exceeded turns the pair's loss into a
+   structured :class:`~repro.recovery.failures.ConnectionFailure` instead
+   of an unbounded reconnect storm.
+
+3. **re-arm** — straggler error WCs are drained from both CQs, both QPs go
+   ERROR→RESET→READY (``reset()`` bumps the epoch, so stale in-flight
+   ACKs/NAKs/credit updates from the dead incarnation are discarded by the
+   epoch guards), receive populations are refilled, and per-direction
+   credit state is recomputed from first principles (below).
+
+4. **replay** — un-acked messages are re-posted with their original
+   sequence numbers (pruned of the delivered-but-ack-lost prefix, which the
+   receiver must not see twice), flushed rendezvous RDMA writes are re-run
+   idempotently, deferred control emissions drain FIFO, and the backlogs
+   re-drain under the resynchronized credits.
+
+**Credit resynchronization.**  For direction s→r the receiver's buffer
+population is authoritative.  Every paid token is, at re-arm time, in
+exactly one of six places, so the sender's fresh balance is what is left
+of the target after all of them::
+
+    credits(s→r) = prepost_target(r) + swallow_debt
+                   - replayed_paid          # un-acked, about to be re-sent
+                   - parked_paid            # delivered at r, not yet polled
+                   - ungranted              # polled at r, grant still pending
+                                            #   (unexpected queue + stall hold)
+                   - pending_credit_return  # granted at r, not yet shipped
+                   - parked_credits         # shipped by r, not yet polled at s
+
+Pre-fault credits that died on flushed headers are deliberately *not*
+counted — zeroing ``header.credits`` on replay re-mints them here, which is
+the whole trick: the balance is reconstructed from surviving state, never
+from the lost wire traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.mpi.protocol import MsgKind
+from repro.recovery.failures import ConnectionFailedError, ConnectionFailure
+from repro.recovery.policy import RecoveryPolicy
+from repro.sim.units import to_us
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ib.wr import WC
+    from repro.mpi.connection import Connection
+    from repro.mpi.endpoint import Endpoint
+
+
+class _PairRecovery:
+    """In-flight recovery of one rank pair."""
+
+    __slots__ = ("pair", "attempt", "started_ns", "cause", "replays")
+
+    def __init__(self, pair: Tuple[int, int], attempt: int, started_ns: int, cause: str):
+        self.pair = pair
+        self.attempt = attempt
+        self.started_ns = started_ns
+        self.cause = cause
+        #: detecting rank -> popped send contexts (ctx_kind, conn, ref, header)
+        self.replays: Dict[int, List[tuple]] = {pair[0]: [], pair[1]: []}
+
+
+class RecoveryManager:
+    """Per-cluster recovery driver, installed on every endpoint's
+    ``_recovery`` hook (zero-cost-when-absent, like the auditor)."""
+
+    def __init__(self, cluster, policy: Optional[RecoveryPolicy] = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.policy = policy or RecoveryPolicy()
+        self._active: Dict[tuple, _PairRecovery] = {}
+        self._attempts: Dict[tuple, int] = {}
+        #: budget-exhausted pairs, in failure order
+        self.failures: List[ConnectionFailure] = []
+        # observability
+        self.recoveries_started = 0
+        self.recoveries_completed = 0
+        self.messages_replayed = 0
+        self.reconnect_ns_total = 0
+        self.reconnect_ns_max = 0
+
+    def install(self) -> "RecoveryManager":
+        for ep in self.cluster.endpoints:
+            ep._recovery = self
+        self.cluster.recovery = self
+        return self
+
+    # ------------------------------------------------------------------
+    # detection (called from Endpoint._handle_error_wc)
+    # ------------------------------------------------------------------
+    def on_error_wc(self, ep: "Endpoint", wc: "WC") -> int:
+        conn = ep._conn_for_qp(wc.qp_num)
+        ctx = ep._reclaim_error_wc(wc)
+        if conn is None:
+            return 0  # completion for a QP we no longer track
+        pair = self._pair(ep.rank, conn.peer)
+        rec = self._active.get(pair)
+        if rec is None:
+            rec = self._begin(pair, ep, conn, wc)  # may raise (budget)
+        if ctx is not None:
+            if ctx[0] == "ring":
+                # RDMA-ring eager channel: slots are raw memory, not WQEs —
+                # replay cannot be reconciled with the ring cursor, so the
+                # loss is surfaced instead of silently corrupting the ring.
+                self._fail(pair, ep.rank, conn.peer, ep, conn,
+                           "rdma-ring-unsupported", rec.attempt)
+            rec.replays[ep.rank].append(ctx)
+        return 0
+
+    def _begin(self, pair, ep: "Endpoint", conn: "Connection", wc: "WC") -> _PairRecovery:
+        attempt = self._attempts.get(pair, 0) + 1
+        self._attempts[pair] = attempt
+        cause = wc.status.value
+        if attempt > self.policy.max_attempts:
+            self._fail(pair, ep.rank, conn.peer, ep, conn, cause, attempt - 1)
+        a, b = pair
+        ep_a, ep_b = self._ep(a), self._ep(b)
+        conn_ab, conn_ba = ep_a.connections[b], ep_b.connections[a]
+        rec = _PairRecovery(pair, attempt, self.sim.now, cause)
+        self._active[pair] = rec
+        self.recoveries_started += 1
+        conn_ab.recovering = True
+        conn_ba.recovering = True
+        # Force the surviving half to ERROR too: its queued WRs flush to
+        # its owner's CQ, where they are collected as replay candidates.
+        conn_ab.qp.force_error()
+        conn_ba.qp.force_error()
+        delay = self.policy.base_delay_ns
+        if self.policy.backoff_factor != 1.0 and attempt > 1:
+            delay = int(delay * self.policy.backoff_factor ** (attempt - 1))
+        delay = min(delay, self.policy.max_delay_ns)
+        if self.policy.jitter_ns > 0:
+            rng = random.Random(
+                self.policy.seed * 1_000_003 + a * 1009 + b * 131 + attempt
+            )
+            delay += rng.randrange(self.policy.jitter_ns)
+        aud = ep_a._audit
+        if aud is not None:
+            aud.on_recovery_begin(a, b)
+            aud.extend_grace(self.sim.now + delay)
+        ep_a.tracer.count("recovery.begin", f"{a}-{b}")
+        self.sim.schedule(delay, self._rearm, pair)
+        return rec
+
+    def _fail(self, pair, rank, peer, ep: "Endpoint", conn: "Connection",
+              cause: str, attempts: int) -> None:
+        failure = ConnectionFailure(
+            rank=rank, peer=peer, scheme=ep.scheme.name.value,
+            epoch=conn.qp.epoch, cause=cause,
+            elapsed_ns=self.sim.now, attempts=attempts,
+        )
+        self.failures.append(failure)
+        self._active.pop(pair, None)
+        raise ConnectionFailedError(failure)
+
+    # ------------------------------------------------------------------
+    # re-arm (manager callback after the backoff delay)
+    # ------------------------------------------------------------------
+    def _rearm(self, pair) -> None:
+        rec = self._active.get(pair)
+        if rec is None:
+            return  # budget-failed in the meantime
+        a, b = pair
+        ep_a, ep_b = self._ep(a), self._ep(b)
+        conn_ab, conn_ba = ep_a.connections[b], ep_b.connections[a]
+        # 1. collect straggler error WCs the owners have not polled yet
+        self._drain_error_wcs(ep_a, conn_ab, rec)
+        self._drain_error_wcs(ep_b, conn_ba, rec)
+        # 2. ERROR -> RESET -> READY; reset() bumps the epoch so stale
+        #    in-flight control from the dead incarnation is discarded
+        qp_ab, qp_ba = conn_ab.qp, conn_ba.qp
+        qp_ab.reset()
+        qp_ba.reset()
+        qp_ab.connect(ep_b.hca.lid, qp_ba.qp_num)
+        qp_ba.connect(ep_a.hca.lid, qp_ab.qp_num)
+        # 3. hardware scheme: re-seed the e2e advertised-credit gate the
+        #    same way connection setup did
+        if getattr(ep_a.scheme, "arm_e2e_gate", False):
+            qp_ab.set_initial_credit_estimate(ep_a.requested_prepost)
+            qp_ba.set_initial_credit_estimate(ep_b.requested_prepost)
+        # 4. restore the receive populations (dynamic-scheme growth that
+        #    happened pre-fault carries over: prepost_target persists on
+        #    the Connection, so the refill tops up to the grown target)
+        conn_ab.refill_recv_buffers()
+        conn_ba.refill_recv_buffers()
+        # 5. per-direction credit resynchronization + replay planning
+        plan_ab = self._resync(ep_a, conn_ab, ep_b, conn_ba, rec)
+        plan_ba = self._resync(ep_b, conn_ba, ep_a, conn_ab, rec)
+        # 6. unfreeze, replay, re-emit deferred control, re-drain backlogs
+        conn_ab.recovering = False
+        conn_ba.recovering = False
+        replayed = self._apply(ep_a, conn_ab, plan_ab)
+        replayed += self._apply(ep_b, conn_ba, plan_ba)
+        self._active.pop(pair, None)
+        self.recoveries_completed += 1
+        self.messages_replayed += replayed
+        dt = self.sim.now - rec.started_ns
+        self.reconnect_ns_total += dt
+        if dt > self.reconnect_ns_max:
+            self.reconnect_ns_max = dt
+        ep_a.tracer.count("recovery.rearm", f"{a}-{b}")
+
+    def _drain_error_wcs(self, ep: "Endpoint", conn: "Connection", rec) -> None:
+        """Remove this QP's un-polled error completions from the owner's
+        CQ, reclaiming their bookkeeping and collecting replay candidates.
+        Success completions stay put — they are real pre-fault deliveries
+        and must be processed in FIFO order."""
+        qpn = conn.qp.qp_num
+        kept = deque()
+        for wc in ep.cq._entries:
+            if not wc.ok and wc.qp_num == qpn:
+                ctx = ep._reclaim_error_wc(wc)
+                if ctx is not None:
+                    rec.replays[ep.rank].append(ctx)
+            else:
+                kept.append(wc)
+        ep.cq._entries = kept
+
+    # ------------------------------------------------------------------
+    # credit-state resynchronization (one direction)
+    # ------------------------------------------------------------------
+    def _resync(self, ep_s: "Endpoint", conn_sr: "Connection",
+                ep_r: "Endpoint", conn_rs: "Connection", rec) -> tuple:
+        """Recompute s→r flow-control state; returns the replay plan
+        ``(header_entries, rdma_ops)`` for :meth:`_apply`."""
+        headers: List[tuple] = []
+        rdmas: List[object] = []
+        for ctx_kind, conn, ref, header in rec.replays[ep_s.rank]:
+            if conn is not conn_sr:
+                continue  # a different pair recovering at this endpoint
+            if ctx_kind == "rdma":
+                rdmas.append(ref)
+            else:
+                headers.append((ctx_kind, ref, header))
+        # Delivered-but-unpolled arrivals at r: they advance the replay
+        # horizon (the receiver will still poll them) and pin paid tokens.
+        unpolled = 0
+        parked_paid = 0
+        qpn_rs = conn_rs.qp.qp_num
+        for wc in ep_r.cq._entries:
+            if wc.is_recv and wc.ok and wc.qp_num == qpn_rs:
+                unpolled += 1
+                if wc.data.paid:
+                    parked_paid += 1
+        b_next = conn_rs.seq_in_expected + unpolled
+        # Prune the delivered-but-ack-lost prefix: the receiver consumed
+        # those sequence numbers, replaying them would corrupt ordering.
+        live = [e for e in headers if e[2].seq >= b_next]
+        live.sort(key=lambda e: e[2].seq)
+        if ep_s.scheme.uses_credits:
+            replayed_paid = sum(1 for e in live if e[2].paid)
+            # polled at r, grant still pending: paid eager parked in the
+            # unexpected queue (vbuf pinned) + credits held by a fault stall
+            ungranted = ep_r._stall_held.get(ep_s.rank, 0)
+            for msg in ep_r.matching._unexpected:
+                h = msg.header
+                if (h.src == ep_s.rank and h.paid and not h.via_ring
+                        and h.kind is MsgKind.EAGER):
+                    ungranted += 1
+            # granted and shipped by r, parked unpolled at s
+            parked_credits = 0
+            qpn_sr = conn_sr.qp.qp_num
+            for wc in ep_s.cq._entries:
+                if wc.is_recv and wc.ok and wc.qp_num == qpn_sr:
+                    parked_credits += wc.data.credits
+            aud = ep_s._audit
+            swallow = aud.pending_swallow(ep_s.rank, ep_r.rank) if aud is not None else 0
+            conn_sr.credits = max(
+                0,
+                conn_rs.prepost_target + swallow
+                - replayed_paid - parked_paid - ungranted
+                - conn_rs.pending_credit_return - parked_credits,
+            )
+            if aud is not None:
+                aud.on_recovery_resync(
+                    ep_s.rank, ep_r.rank,
+                    consumed_unsent=replayed_paid,
+                    inflight_paid=parked_paid,
+                    ungranted=ungranted,
+                    inflight_credits=parked_credits,
+                )
+        return live, rdmas
+
+    def _apply(self, ep: "Endpoint", conn: "Connection", plan: tuple) -> int:
+        """Replay the un-acked suffix (original seqs, in order), re-run
+        flushed RDMA writes, drain deferred control emissions (fresh seqs),
+        and re-drain the backlog under the resynchronized credits."""
+        headers, rdmas = plan
+        n = 0
+        for ctx_kind, ref, header in headers:
+            ep._replay_emit(conn, header, ctx_kind, ref)
+            n += 1
+        for op in rdmas:
+            ep._replay_rdma(conn, op)
+            n += 1
+        while conn.deferred:
+            header, ctx_kind, ref, control = conn.deferred.popleft()
+            ep._emit(conn, header, ctx_kind, ref, control)
+        if conn.backlog:
+            ep._drain(conn)
+        if n:
+            ep.tracer.count("recovery.replayed", f"{ep.rank}->{conn.peer}", n)
+        return n
+
+    # ------------------------------------------------------------------
+    # helpers / observability
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pair(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def _ep(self, rank: int) -> "Endpoint":
+        return self.cluster.endpoints[rank]
+
+    def summary(self) -> dict:
+        done = self.recoveries_completed
+        return {
+            "recoveries": self.recoveries_started,
+            "completed": done,
+            "failed_pairs": len(self.failures),
+            "attempts_max": max(self._attempts.values(), default=0),
+            "messages_replayed": self.messages_replayed,
+            "reconnect_us_max": to_us(self.reconnect_ns_max),
+            "reconnect_us_mean": to_us(self.reconnect_ns_total // done) if done else 0.0,
+        }

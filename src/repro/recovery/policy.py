@@ -1,0 +1,31 @@
+"""Recovery policy knobs (backoff schedule and attempt budget)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import us
+
+
+@dataclass
+class RecoveryPolicy:
+    """How hard to try re-establishing a lost QP pair.
+
+    The reconnect delay for attempt *k* (1-based, cumulative per rank
+    pair) is::
+
+        min(max_delay_ns, base_delay_ns * backoff_factor ** (k - 1))
+        + jitter in [0, jitter_ns)
+
+    with the jitter drawn from a :class:`random.Random` keyed on
+    ``(seed, pair, attempt)`` — deterministic across runs, decorrelated
+    across pairs so a fabric-wide fault does not produce a synchronized
+    reconnect storm.
+    """
+
+    max_attempts: int = 5  #: cumulative per rank pair; exceeded -> failure
+    base_delay_ns: int = us(50)
+    backoff_factor: float = 2.0
+    max_delay_ns: int = us(2_000)
+    jitter_ns: int = us(10)
+    seed: int = 0

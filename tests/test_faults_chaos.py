@@ -40,13 +40,36 @@ def test_hardware_storms_while_user_level_schemes_absorb(stall_report):
     assert st["rnr_naks"] == 0 and dy["rnr_naks"] == 0
 
 
+#: Scenarios whose fault outlives a finite retry budget: without the
+#: recovery subsystem some scheme loses its QP pair for good (a
+#: structured failure, not a hang); with recovery every scheme completes.
+FATAL_SCENARIOS = {"link-down-permanent", "retry-budget"}
+
+
 def test_every_scenario_completes_for_every_scheme():
-    for name in SCENARIOS:
+    for name in sorted(set(SCENARIOS) - FATAL_SCENARIOS):
         report = run_chaos(name, seed=7)
         for scheme, entry in report["schemes"].items():
             assert entry["completed"], f"{name}/{scheme}: {entry.get('error')}"
             # Runs outlive their fault windows (recovery, not truncation).
             assert entry["recovery_us"] >= 0
+
+
+def test_fatal_scenarios_fail_structurally_then_recover():
+    for name in sorted(FATAL_SCENARIOS):
+        bare = run_chaos(name, seed=7)
+        # At least one scheme blows its retry budget and reports the
+        # structured failure record (never an exception string or a hang).
+        failed = [s for s, e in bare["schemes"].items() if not e["completed"]]
+        assert failed, f"{name}: expected a budget-exhausting scheme"
+        for scheme in failed:
+            entry = bare["schemes"][scheme]
+            assert "error" not in entry, f"{name}/{scheme}: {entry.get('error')}"
+            assert entry["failures"], f"{name}/{scheme}: no failure records"
+        cured = run_chaos(name, seed=7, recovery=True)
+        for scheme, entry in cured["schemes"].items():
+            assert entry["completed"], f"{name}/{scheme} under recovery"
+            assert entry["recovery"]["completed"] >= (1 if scheme in failed else 0)
 
 
 def test_lossy_window_hardware_wastes_the_most_wire():

@@ -137,6 +137,13 @@ def cmd_perf(args: argparse.Namespace) -> int:
             print(f"error: unknown workload(s) {', '.join(unknown)} "
                   f"(available: {', '.join(perf.WORKLOADS)})", file=sys.stderr)
             return 2
+    if args.profile:
+        # Profiling overhead poisons wall timings, so this mode replaces
+        # the measured suite instead of decorating it.
+        for name in args.workloads or list(perf.WORKLOADS):
+            print(f"=== cProfile: {name} (top 20 by cumulative time) ===")
+            print(perf.profile_workload(name, top=20))
+        return 0
     if args.check:
         try:
             baseline = perf.load_report(args.check)
@@ -392,6 +399,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "determinism drift or >tolerance throughput drop")
     p.add_argument("--tolerance", type=float, default=0.20,
                    help="allowed fractional events/sec regression for --check")
+    p.add_argument("--profile", action="store_true",
+                   help="run each workload under cProfile and print the "
+                        "top 20 functions by cumulative time (no report)")
     p.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("scaling", help="dynamic + on-demand on a fat tree")

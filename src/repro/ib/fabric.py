@@ -20,18 +20,98 @@ loopback path: no switch hop, bandwidth limited by the host bus.
 
 from __future__ import annotations
 
+from bisect import insort
+from collections import deque
 from heapq import heappush
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional
 
 from repro.ib.types import IBConfig
 from repro.sim import Simulator
-from repro.sim.engine import ScheduledEvent
+from repro.sim.engine import _MASK, _SHIFT
 from repro.sim.trace import Tracer
 from repro.sim.units import transfer_ns
 
 
 class FabricError(RuntimeError):
     pass
+
+
+class _DeliveryTrain:
+    """Burst-batched data deliveries to one destination LID.
+
+    The fabric still assigns every in-flight message its exact
+    ``(arrival, seq)`` key at transmit time, but only the *head* of this
+    FIFO occupies an agenda entry; when it fires, the next message re-arms
+    the agenda under its own original key.  Execution is therefore
+    bit-identical to scheduling each message individually — same events,
+    same count, same ``(time, seq)`` order — while agenda occupancy per
+    destination drops from one entry per in-flight message to one per
+    train.  Messages whose arrival would break the FIFO's monotonicity
+    (a fault window adding latency, loopback traffic interleaved with
+    switched traffic) split the burst and take a direct agenda entry
+    instead (see :meth:`Fabric.transmit`).
+    """
+
+    __slots__ = ("sim", "deliver", "q", "fire")
+
+    def __init__(self, sim: Simulator, deliver: Callable):
+        self.sim = sim
+        self.deliver = deliver
+        self.q: Deque[tuple] = deque()  # (arrival, seq, message), armed iff non-empty
+        self.fire = self._fire  # prebound: re-armed once per delivery
+
+    def _fire(self) -> None:
+        q = self.q
+        message = q.popleft()[2]
+        # Re-arm before delivering: the delivery callback can transmit new
+        # messages, and the armed-iff-non-empty invariant must hold then.
+        if q:
+            head = q[0]
+            t = head[0]
+            sim = self.sim
+            entry = (t, head[1], self.fire, ())
+            idx = t >> _SHIFT
+            if idx <= sim._cur:
+                insort(sim._active, entry, sim._head)
+                sim._count += 1
+            elif idx < sim._limit:
+                sim._buckets[idx & _MASK].append(entry)
+                sim._count += 1
+            else:
+                heappush(sim._over, entry)
+        self.deliver(message)
+
+
+class _ControlTrain:
+    """Burst-batched control deliveries (ACK/NAK/credit) to one LID —
+    same original-key re-arming scheme as :class:`_DeliveryTrain`, but
+    each queued packet carries its own callback."""
+
+    __slots__ = ("sim", "q", "fire")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.q: Deque[tuple] = deque()  # (arrival, seq, callback, args)
+        self.fire = self._fire
+
+    def _fire(self) -> None:
+        q = self.q
+        _, _, callback, args = q.popleft()
+        if q:
+            head = q[0]
+            t = head[0]
+            sim = self.sim
+            entry = (t, head[1], self.fire, ())
+            idx = t >> _SHIFT
+            if idx <= sim._cur:
+                insort(sim._active, entry, sim._head)
+                sim._count += 1
+            elif idx < sim._limit:
+                sim._buckets[idx & _MASK].append(entry)
+                sim._count += 1
+            else:
+                heappush(sim._over, entry)
+        callback(*args)
 
 
 class Fabric:
@@ -46,6 +126,10 @@ class Fabric:
         self._down_busy: Dict[int, int] = {}
         self._lids: Dict[int, Any] = {}  # lid -> HCA (deliver target)
         self._deliver_cb: Dict[int, Callable] = {}  # lid -> HCA._deliver, prebound
+        # Per-destination burst trains: one armed agenda entry per train
+        # instead of one per in-flight message (see _DeliveryTrain).
+        self._trains: Dict[int, _DeliveryTrain] = {}
+        self._ctrains: Dict[int, _ControlTrain] = {}
         # Per-size timing caches.  A fabric is built per job from a frozen
         # view of the config (nothing mutates IBConfig once traffic flows),
         # and real workloads reuse a handful of message sizes thousands of
@@ -72,6 +156,8 @@ class Fabric:
             raise FabricError(f"LID {lid} already attached")
         self._lids[lid] = hca
         self._deliver_cb[lid] = hca._deliver
+        self._trains[lid] = _DeliveryTrain(self.sim, hca._deliver)
+        self._ctrains[lid] = _ControlTrain(self.sim)
         self._up_busy[lid] = 0
         self._down_busy[lid] = 0
 
@@ -86,7 +172,7 @@ class Fabric:
     # ------------------------------------------------------------------
     def _schedule_delivery(self, at: int, callback: Callable, arg: Any) -> None:
         """``sim.call_at(at, callback, arg)`` open-coded against the kernel
-        internals — every packet and every control message passes through
+        internals — every message and every control packet passes through
         here, and the call frame + ``*args`` packing were measurable.
         ``at`` is already integral and ``>= now`` by construction."""
         sim = self.sim
@@ -94,17 +180,43 @@ class Fabric:
         if at == sim.now:
             sim._now_q.append((seq, callback, (arg,)))
             return
-        free = sim._free
-        if free:
-            ev = free.pop()
-            ev.time = at
-            ev.seq = seq
-            ev.callback = callback
-            ev.args = (arg,)
+        idx = at >> _SHIFT
+        if idx <= sim._cur:
+            insort(sim._active, (at, seq, callback, (arg,)), sim._head)
+            sim._count += 1
+        elif idx < sim._limit:
+            sim._buckets[idx & _MASK].append((at, seq, callback, (arg,)))
+            sim._count += 1
         else:
-            ev = ScheduledEvent(at, seq, callback, (arg,))
-            ev._pooled = True
-        heappush(sim._heap, (at, seq, ev))
+            heappush(sim._over, (at, seq, callback, (arg,)))
+
+    def _enqueue_data(self, dst_lid: int, arrival: int, message: Any) -> None:
+        """Hand a data message to ``dst_lid``'s delivery train (or split
+        the burst with a direct agenda entry when ``arrival`` breaks the
+        train's FIFO monotonicity).  The message's ``(arrival, seq)`` key
+        is fixed here, at transmit time, whichever path it takes."""
+        sim = self.sim
+        seq = sim._seq = sim._seq + 1
+        train = self._trains[dst_lid]
+        q = train.q
+        if q:
+            if arrival >= q[-1][0]:
+                q.append((arrival, seq, message))
+                return
+            # burst split: out-of-order arrival goes straight to the agenda
+            entry = (arrival, seq, train.deliver, (message,))
+        else:
+            q.append((arrival, seq, message))
+            entry = (arrival, seq, train.fire, ())
+        idx = arrival >> _SHIFT
+        if idx <= sim._cur:
+            insort(sim._active, entry, sim._head)
+            sim._count += 1
+        elif idx < sim._limit:
+            sim._buckets[idx & _MASK].append(entry)
+            sim._count += 1
+        else:
+            heappush(sim._over, entry)
 
     def transmit(self, src_lid: int, dst_lid: int, payload_bytes: int, message: Any) -> int:
         """Inject a message; returns (and schedules delivery at) the arrival
@@ -127,7 +239,7 @@ class Fabric:
                 ser = transfer_ns(cfg.wire_bytes(payload_bytes), cfg.pci_bytes_per_ns)
                 self._lo_cache[payload_bytes] = ser
             arrival = now + cfg.loopback_ns + ser
-            self._schedule_delivery(arrival, self._deliver_cb[dst_lid], message)
+            self._enqueue_data(dst_lid, arrival, message)
             return arrival
 
         extra = 0
@@ -160,21 +272,32 @@ class Fabric:
         self._down_busy[dst_lid] = start_down + ser
 
         arrival = start_down + ser + cfg.link_prop_ns + extra
-        # Open-coded _schedule_delivery (this is the per-packet hot path;
-        # arrival > now always: ser >= 1 and link_prop_ns >= 0).
+        # Open-coded _enqueue_data (this is the per-message hot path).
+        # Switched arrivals to one LID are monotone by construction —
+        # _down_busy[dst] is FIFO — so the common case is a plain append
+        # onto the armed train; only fault-window ``extra`` latency or a
+        # loopback/switched mix ever splits the burst.
         sim = self.sim
         seq = sim._seq = sim._seq + 1
-        free = sim._free
-        if free:
-            ev = free.pop()
-            ev.time = arrival
-            ev.seq = seq
-            ev.callback = self._deliver_cb[dst_lid]
-            ev.args = (message,)
+        train = self._trains[dst_lid]
+        q = train.q
+        if q and arrival >= q[-1][0]:
+            q.append((arrival, seq, message))
         else:
-            ev = ScheduledEvent(arrival, seq, self._deliver_cb[dst_lid], (message,))
-            ev._pooled = True
-        heappush(sim._heap, (arrival, seq, ev))
+            if q:
+                entry = (arrival, seq, train.deliver, (message,))
+            else:
+                q.append((arrival, seq, message))
+                entry = (arrival, seq, train.fire, ())
+            idx = arrival >> _SHIFT
+            if idx <= sim._cur:
+                insort(sim._active, entry, sim._head)
+                sim._count += 1
+            elif idx < sim._limit:
+                sim._buckets[idx & _MASK].append(entry)
+                sim._count += 1
+            else:
+                heappush(sim._over, entry)
         self.tracer.record(now, "fabric.tx", src_lid, dst_lid, payload_bytes, arrival)
         return arrival
 
@@ -205,22 +328,34 @@ class Fabric:
             if extra is None:
                 return sim.now  # link down: ACK/NAK/credit update lost
         arrival = sim.now + self.control_path_ns(src_lid, dst_lid) + extra
-        # Open-coded call_at (per-ACK/credit-update hot path).
+        # Per-ACK/credit-update hot path: burst-batched per destination.
+        # On a single crossbar every remote pair shares one control
+        # latency, so arrivals per LID are monotone and the train almost
+        # never splits (loopback/remote mixes and fat-tree hop-count
+        # differences fall back to a direct agenda entry).
         seq = sim._seq = sim._seq + 1
         if arrival == sim.now:
             sim._now_q.append((seq, callback, args))
             return arrival
-        free = sim._free
-        if free:
-            ev = free.pop()
-            ev.time = arrival
-            ev.seq = seq
-            ev.callback = callback
-            ev.args = args
+        train = self._ctrains[dst_lid]
+        q = train.q
+        if q and arrival >= q[-1][0]:
+            q.append((arrival, seq, callback, args))
+            return arrival
+        if q:
+            entry = (arrival, seq, callback, args)
         else:
-            ev = ScheduledEvent(arrival, seq, callback, args)
-            ev._pooled = True
-        heappush(sim._heap, (arrival, seq, ev))
+            q.append((arrival, seq, callback, args))
+            entry = (arrival, seq, train.fire, ())
+        idx = arrival >> _SHIFT
+        if idx <= sim._cur:
+            insort(sim._active, entry, sim._head)
+            sim._count += 1
+        elif idx < sim._limit:
+            sim._buckets[idx & _MASK].append(entry)
+            sim._count += 1
+        else:
+            heappush(sim._over, entry)
         return arrival
 
     def idle(self) -> bool:

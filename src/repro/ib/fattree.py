@@ -71,7 +71,7 @@ class FatTreeFabric(Fabric):
         if src_lid == dst_lid:
             ser = transfer_ns(cfg.wire_bytes(payload_bytes), cfg.pci_bytes_per_ns)
             arrival = now + cfg.loopback_ns + ser
-            self.sim.schedule_at(arrival, self._lids[dst_lid]._deliver, message)
+            self._enqueue_data(dst_lid, arrival, message)
             return arrival
 
         extra = 0
@@ -114,7 +114,7 @@ class FatTreeFabric(Fabric):
         start_down = max(head, self._down_busy[dst_lid])
         self._down_busy[dst_lid] = start_down + ser
         arrival = start_down + ser + cfg.link_prop_ns + extra
-        self.sim.schedule_at(arrival, self._lids[dst_lid]._deliver, message)
+        self._enqueue_data(dst_lid, arrival, message)
         self.tracer.record(now, "fabric.tx", src_lid, dst_lid, payload_bytes, arrival)
         return arrival
 

@@ -68,7 +68,7 @@ _SEG_PLAN_CACHE: dict = {}
 _SEG_PLAN_CACHE_MAX = 1 << 16
 
 
-@dataclass
+@dataclass(slots=True)
 class IBConfig:
     """Hardware timing model.  Defaults are calibrated so that the simulated
     testbed reproduces the paper's ~7.5 µs small-message MPI latency and
@@ -183,7 +183,7 @@ class IBConfig:
         return self.dereg_base_ns + pages * (self.reg_per_page_ns // 4)
 
 
-@dataclass
+@dataclass(slots=True)
 class PathTimes:
     """Pre-computed fixed latencies for a fabric path (derived from
     :class:`IBConfig` by the fabric builder; kept separate so multi-switch

@@ -6,17 +6,21 @@ memory-semantics RDMA write/read); a :class:`RecvWR` describes where an
 inbound SEND's payload may land.  Completions are reported as :class:`WC`
 entries on a completion queue.  ``context`` fields are opaque to the IB
 layer — the MPI implementation stores its protocol headers there.
+
+These are hand-written ``__slots__`` classes rather than dataclasses: a WC
+is allocated for every signalled completion and a SendWR for every posted
+send, so the dataclass ``__init__``/``__post_init__`` indirection was
+measurable on the hot path.  Construction stays keyword-compatible with
+the previous dataclass signatures.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.ib.types import Opcode, WCStatus
 
 
-@dataclass(slots=True)
 class SendWR:
     """An outbound work request.
 
@@ -40,27 +44,54 @@ class SendWR:
         traffic to cut CQ pressure.
     """
 
-    wr_id: Any
-    opcode: Opcode
-    length: int
-    payload: Any = None
-    remote_addr: int = 0
-    rkey: int = 0
-    signaled: bool = True
+    __slots__ = (
+        "wr_id",
+        "opcode",
+        "length",
+        "payload",
+        "remote_addr",
+        "rkey",
+        "signaled",
+        "msn",
+        "rnr_tries",
+        "xport_tries",
+    )
 
-    # transport bookkeeping (assigned by the QP; not caller-visible)
-    msn: int = field(default=-1, repr=False)
-    rnr_tries: int = field(default=0, repr=False)
-    xport_tries: int = field(default=0, repr=False)
+    def __init__(
+        self,
+        wr_id: Any,
+        opcode: Opcode,
+        length: int,
+        payload: Any = None,
+        remote_addr: int = 0,
+        rkey: int = 0,
+        signaled: bool = True,
+    ):
+        if length < 0:
+            raise ValueError(f"negative WR length {length}")
+        if rkey == 0 and (opcode is Opcode.RDMA_WRITE or opcode is Opcode.RDMA_READ):
+            raise ValueError(f"{opcode.value} requires an rkey")
+        self.wr_id = wr_id
+        self.opcode = opcode
+        self.length = length
+        self.payload = payload
+        self.remote_addr = remote_addr
+        self.rkey = rkey
+        self.signaled = signaled
+        # transport bookkeeping (assigned by the QP; not caller-visible)
+        self.msn = -1
+        self.rnr_tries = 0
+        self.xport_tries = 0
 
-    def __post_init__(self) -> None:
-        if self.length < 0:
-            raise ValueError(f"negative WR length {self.length}")
-        if self.opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_READ) and self.rkey == 0:
-            raise ValueError(f"{self.opcode.value} requires an rkey")
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SendWR(wr_id={self.wr_id!r}, opcode={self.opcode!r}, "
+            f"length={self.length!r}, payload={self.payload!r}, "
+            f"remote_addr={self.remote_addr!r}, rkey={self.rkey!r}, "
+            f"signaled={self.signaled!r})"
+        )
 
 
-@dataclass(slots=True)
 class RecvWR:
     """An inbound buffer descriptor.
 
@@ -69,15 +100,18 @@ class RecvWR:
     sender sees a remote error), mirroring IBA semantics.
     """
 
-    wr_id: Any
-    capacity: int
+    __slots__ = ("wr_id", "capacity")
 
-    def __post_init__(self) -> None:
-        if self.capacity < 0:
-            raise ValueError(f"negative recv capacity {self.capacity}")
+    def __init__(self, wr_id: Any, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"negative recv capacity {capacity}")
+        self.wr_id = wr_id
+        self.capacity = capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RecvWR(wr_id={self.wr_id!r}, capacity={self.capacity!r})"
 
 
-@dataclass(slots=True)
 class WC:
     """A work completion.
 
@@ -98,15 +132,45 @@ class WC:
         Distinguishes receive-side completions from send-side ones.
     """
 
-    wr_id: Any
-    status: WCStatus
-    opcode: Opcode
-    byte_len: int = 0
-    data: Any = None
-    qp_num: int = -1
-    peer: int = -1
-    is_recv: bool = False
+    __slots__ = (
+        "wr_id",
+        "status",
+        "opcode",
+        "byte_len",
+        "data",
+        "qp_num",
+        "peer",
+        "is_recv",
+    )
+
+    def __init__(
+        self,
+        wr_id: Any,
+        status: WCStatus,
+        opcode: Opcode,
+        byte_len: int = 0,
+        data: Any = None,
+        qp_num: int = -1,
+        peer: int = -1,
+        is_recv: bool = False,
+    ):
+        self.wr_id = wr_id
+        self.status = status
+        self.opcode = opcode
+        self.byte_len = byte_len
+        self.data = data
+        self.qp_num = qp_num
+        self.peer = peer
+        self.is_recv = is_recv
 
     @property
     def ok(self) -> bool:
         return self.status is WCStatus.SUCCESS
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WC(wr_id={self.wr_id!r}, status={self.status!r}, "
+            f"opcode={self.opcode!r}, byte_len={self.byte_len!r}, "
+            f"qp_num={self.qp_num!r}, peer={self.peer!r}, "
+            f"is_recv={self.is_recv!r})"
+        )

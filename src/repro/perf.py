@@ -130,6 +130,28 @@ def run_workload(name: str, repeats: int = 3) -> Dict[str, Any]:
     }
 
 
+def profile_workload(name: str, top: int = 20) -> str:
+    """Run one workload under :mod:`cProfile`; return the top-``top``
+    functions by cumulative time as a formatted table.
+
+    One un-timed pass — profiling overhead makes the wall numbers
+    meaningless, so this never feeds the report or the ``--check`` gate;
+    it exists to answer "where did the time go" when the gate trips.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    fn = WORKLOADS[name]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
+
+
 def peak_rss_kb() -> Optional[int]:
     """Peak resident set size of this process in KiB (None off-POSIX)."""
     if resource is None:  # pragma: no cover

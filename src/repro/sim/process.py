@@ -10,10 +10,11 @@ sub-routines and ``yield other_process`` for fork/join.
 
 from __future__ import annotations
 
+from bisect import insort
 from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, List, Optional
 
-from repro.sim.engine import ScheduledEvent
+from repro.sim.engine import _MASK, _SHIFT
 from repro.sim.waitables import Timeout, Waitable
 
 #: shared resume-args tuple — every Timeout wakeup resumes with (None, None)
@@ -102,18 +103,17 @@ class Process(Waitable):
             if delay == 0:
                 sim._now_q.append((seq, self._resume, _NONE2))
             else:
+                # Open-coded Simulator._insert of a bare 4-tuple entry.
                 t = sim.now + delay
-                free = sim._free
-                if free:
-                    ev = free.pop()
-                    ev.time = t
-                    ev.seq = seq
-                    ev.callback = self._resume
-                    ev.args = _NONE2
+                idx = t >> _SHIFT
+                if idx <= sim._cur:
+                    insort(sim._active, (t, seq, self._resume, _NONE2), sim._head)
+                    sim._count += 1
+                elif idx < sim._limit:
+                    sim._buckets[idx & _MASK].append((t, seq, self._resume, _NONE2))
+                    sim._count += 1
                 else:
-                    ev = ScheduledEvent(t, seq, self._resume, _NONE2)
-                    ev._pooled = True
-                heappush(sim._heap, (t, seq, ev))
+                    heappush(sim._over, (t, seq, self._resume, _NONE2))
             return
         if not isinstance(item, Waitable):
             self._finish(

@@ -69,6 +69,16 @@ def test_perf_command_writes_and_checks_report(tmp_path, capsys):
     assert "no regression" in capsys.readouterr().out
 
 
+def test_perf_profile_prints_hotspots(capsys):
+    rc = main(["perf", "--profile", "--workloads", "ring64"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cProfile: ring64" in out
+    assert "cumulative" in out
+    # the event loop itself must show up in the top functions
+    assert "engine.py" in out and "(run)" in out
+
+
 def test_perf_check_fails_on_determinism_drift(tmp_path, capsys):
     out_path = tmp_path / "BENCH_perf.json"
     assert main(["perf", "--workloads", "ring64", "--repeats", "1",

@@ -74,7 +74,7 @@ def test_fractional_delay_rejected():
         sim.call_later(0.25, lambda: None)
     with pytest.raises(SimulationError):
         sim.call_at(0.25, lambda: None)
-    assert sim.events_executed == 0 and not sim._heap and not sim._now_q
+    assert sim.events_executed == 0 and sim._pending == 0
 
 
 def test_integral_float_delay_coerced_exactly():

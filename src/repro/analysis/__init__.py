@@ -1,6 +1,6 @@
 """Result collection, rendering and run forensics for the harness."""
 
-from repro.analysis.report import Figure, Series, Table, pct_change
+from repro.analysis.report import Figure, Series, Table, congestion_table, pct_change
 from repro.analysis.timeline import (
     PairTraffic,
     fabric_utilisation,
@@ -13,6 +13,7 @@ __all__ = [
     "PairTraffic",
     "Series",
     "Table",
+    "congestion_table",
     "fabric_utilisation",
     "flow_control_timeline",
     "pct_change",

@@ -160,3 +160,26 @@ def pct_change(new: float, old: float) -> float:
     if old == 0:
         return 0.0
     return 100.0 * (new - old) / old
+
+
+def congestion_table(
+    per_dest: Dict[str, Dict[str, int]],
+    title: str = "Per-destination switch congestion",
+) -> Table:
+    """Render a :class:`~repro.core.stats.CongestionReport`'s ``per_dest``
+    map (destination LID → final-egress-port counters) as a paper-style
+    table — only meaningful when the congestion subsystem was armed.
+
+    Rows are sorted by numeric LID so reports diff cleanly.
+    """
+    table = Table(title, ["depth_peak_bytes", "pauses", "marks", "drops"])
+    for dest in sorted(per_dest, key=int):
+        row = per_dest[dest]
+        table.add_row(
+            f"dst {dest}",
+            row.get("depth_peak_bytes", 0),
+            row.get("pauses", 0),
+            row.get("marks", 0),
+            row.get("drops", 0),
+        )
+    return table

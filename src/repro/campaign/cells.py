@@ -120,6 +120,7 @@ def _chaos_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
     return chaos_cell(
         p["scenario"], p["scheme"], seed=p["seed"], prepost=p["prepost"],
         recovery=p.get("recovery", False),
+        congestion=p.get("congestion"),
     )
 
 

@@ -75,6 +75,7 @@ def chaos_grid(
     seed: int = 7,
     prepost: Optional[int] = None,
     recovery: bool = False,
+    congestion: Optional[str] = None,
 ) -> List[JobSpec]:
     from repro.faults import SCENARIOS
 
@@ -90,7 +91,29 @@ def chaos_grid(
             if recovery:
                 # only keyed when on, so pre-recovery cache keys stay valid
                 params["recovery"] = True
+            if congestion is not None:
+                # likewise: only keyed when the subsystem is armed
+                params["congestion"] = congestion
             specs.append(JobSpec("chaos", params))
+    return specs
+
+
+#: The incast campaign's congestion-scheme axis.
+CONGESTION_MODES = ("pfc", "ecn", "both")
+
+
+def incast_grid(
+    scenarios: Iterable[str] = ("incast-n1", "hotspot-skew", "victim-flow"),
+    schemes: Iterable[str] = SCHEMES,
+    modes: Iterable[str] = CONGESTION_MODES,
+    seed: int = 7,
+) -> List[JobSpec]:
+    """Congestion scenarios x congestion modes x flow-control schemes."""
+    specs = []
+    for name in scenarios:
+        for mode in modes:
+            specs.extend(chaos_grid(scenarios=[name], schemes=schemes,
+                                    seed=seed, congestion=mode))
     return specs
 
 
@@ -147,8 +170,11 @@ GRIDS: Dict[str, Grid] = {
     "nas": Grid("NAS kernels x schemes x pre-post {100,1}; Figures 9-10, "
                 "Tables 1-2 (42 cells)",
                 lambda **kw: nas_grid(**kw)),
-    "chaos": Grid("fault scenarios x schemes robustness sweep (15 cells)",
+    "chaos": Grid("fault scenarios x schemes robustness sweep (24 cells)",
                   lambda **kw: chaos_grid(**kw)),
+    "incast": Grid("congestion scenarios x {pfc,ecn,both} x schemes "
+                   "(27 cells)",
+                   lambda **kw: incast_grid(**kw)),
     "scaling": Grid("fat-tree ring: full mesh vs on-demand (2 cells)",
                     lambda **kw: scaling_grid(**kw)),
 }

@@ -141,6 +141,11 @@ class Auditor:
         self._wd_armed = False
         self._last_progress_ns = 0
         self._fault_grace_until = 0
+        # --- (f) switch-congestion invariants (repro.congestion) ---
+        self._congestion = None  # the fabric's CongestionState, when armed
+        self._xoff_open: Dict[tuple, int] = defaultdict(int)
+        self.xoff_total = 0
+        self.xon_total = 0
         #: total hook invocations (observability; overhead accounting)
         self.hook_calls = 0
 
@@ -168,6 +173,11 @@ class Auditor:
         self._last_progress_ns = cluster.sim.now
         for ep in self._endpoints:
             ep._audit = self
+        self._xoff_open.clear()
+        self.xoff_total = self.xon_total = 0
+        self._congestion = cluster.fabric.congestion
+        if self._congestion is not None:
+            self._congestion.audit = self
         cluster.auditor = self
         return self
 
@@ -546,6 +556,43 @@ class Auditor:
             )
 
     # ------------------------------------------------------------------
+    # (f) switch-congestion hooks (repro.congestion; guarded the same
+    # way as the endpoint hooks — only called when the auditor is on)
+    # ------------------------------------------------------------------
+    def on_xoff(self, port_key: tuple) -> None:
+        """A port crossed its XOFF threshold and paused its feeders.
+        Pause storms legitimately stall MPI progress, so this counts as
+        progress for the watchdog."""
+        self.hook_calls += 1
+        self._progress()
+        self._xoff_open[port_key] += 1
+        self.xoff_total += 1
+
+    def on_xon(self, port_key: tuple) -> None:
+        self.hook_calls += 1
+        self._progress()
+        self.xon_total += 1
+        self._xoff_open[port_key] -= 1
+        if self._xoff_open[port_key] < 0:
+            self._violate(
+                "pause-conservation",
+                f"port {port_key}: XON without a standing XOFF",
+            )
+
+    def on_queue_depth(self, port_key: tuple, depth: int,
+                       buffer_bytes: Optional[int]) -> None:
+        """An admission updated a port queue's depth; a finite buffer
+        must never be exceeded (overflow is a tail-drop *before* the
+        admission, so a deeper queue means the model leaked bytes)."""
+        self.hook_calls += 1
+        if buffer_bytes is not None and depth > buffer_bytes:
+            self._violate(
+                "congestion-buffer",
+                f"port {port_key}: queue depth {depth} B exceeds the "
+                f"configured {buffer_bytes} B buffer",
+            )
+
+    # ------------------------------------------------------------------
     # (e) progress watchdog
     # ------------------------------------------------------------------
     def _progress(self) -> None:
@@ -607,6 +654,33 @@ class Auditor:
                     )
         if not expect_quiescent:
             return
+        cong = self._congestion
+        if cong is not None:
+            # Pause-frame conservation + drain: a finalized job left no
+            # traffic in flight, so every port queue must have emptied,
+            # every XOFF must have been matched by an XON (depth fell
+            # through the XON threshold on the way to zero), and no port
+            # may still be gated by an unmatched pause frame.
+            for key in sorted(cong.ports):
+                port = cong.ports[key]
+                if port.xoff_active or self._xoff_open[key] > 0:
+                    self._violate(
+                        "pause-conservation",
+                        f"port {key}: XOFF still standing at run end "
+                        "(never matched by an XON)",
+                    )
+                if port.depth or port.q or port.busy:
+                    self._violate(
+                        "congestion-drain",
+                        f"port {key}: {port.depth} B ({len(port.q)} "
+                        "message(s)) still queued at quiescence",
+                    )
+                if port.paused_by:
+                    self._violate(
+                        "pause-conservation",
+                        f"port {key}: still paused by "
+                        f"{sorted(port.paused_by)} at quiescence",
+                    )
         for key, sent in self._sent_seq.items():
             matched = self._matched_seq.get(key, [])
             if matched != sent:

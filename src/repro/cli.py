@@ -179,10 +179,12 @@ def cmd_perf(args: argparse.Namespace) -> int:
 def _chaos_report(args: argparse.Namespace) -> dict:
     specs = grids.chaos_grid(scenarios=[args.scenario], schemes=args.schemes,
                              seed=args.seed, prepost=args.prepost,
-                             recovery=args.recovery)
+                             recovery=args.recovery,
+                             congestion=args.congestion)
     res = run_cells(specs, workers=args.workers)
     report = chaos_report_header(args.scenario, seed=args.seed,
-                                 prepost=args.prepost, recovery=args.recovery)
+                                 prepost=args.prepost, recovery=args.recovery,
+                                 congestion=args.congestion)
     for out in res.outcomes:
         report["schemes"][out.spec.params["scheme"]] = out.metrics
     return report
@@ -199,24 +201,40 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
-        table = Table(
+        congested = report["congestion"] is not None
+        columns = ["done", "time_us", "recovery_us", "retrans", "rnr_naks",
+                   "backlog_max", "ecms", "fallbacks", "reconnects",
+                   "replayed"]
+        if congested:
+            columns += ["pauses", "marks", "drops", "victim_us"]
+        title = (
             f"Chaos '{report['scenario']}' seed={report['seed']} "
             f"prepost={report['prepost']} "
             f"recovery={'on' if report['recovery'] else 'off'} "
-            f"(faults end at {report['fault_window_us']:.0f} us)",
-            ["done", "time_us", "recovery_us", "retrans", "rnr_naks",
-             "backlog_max", "ecms", "fallbacks", "reconnects", "replayed"],
         )
+        if congested:
+            title += f"congestion={report['congestion']} "
+        title += f"(faults end at {report['fault_window_us']:.0f} us)"
+        table = Table(title, columns)
         for scheme, entry in report["schemes"].items():
             rec = entry.get("recovery")
             reconnects = rec["completed"] if rec else "-"
             replayed = rec["messages_replayed"] if rec else "-"
+            cong_cells = []
+            if congested:
+                cong = entry.get("congestion")
+                cong_cells = [
+                    cong["pause_frames"] if cong else "-",
+                    cong["ecn_marks"] if cong else "-",
+                    cong["drops"] if cong else "-",
+                    entry.get("victim_finish_us", "-"),
+                ]
             if entry.get("completed"):
                 table.add_row(scheme, "yes", entry["elapsed_us"],
                               entry["recovery_us"], entry["retransmissions"],
                               entry["rnr_naks"], entry["backlog_max"],
                               entry["ecm_msgs"], entry["rndv_fallbacks"],
-                              reconnects, replayed)
+                              reconnects, replayed, *cong_cells)
             elif "failures" in entry:
                 f = entry["failures"][0]
                 detail = (f"{f['cause']} {f['rank']}<->{f['peer']} "
@@ -224,10 +242,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 # the name column auto-sizes; the value columns do not
                 table.add_row(f"{scheme}: {detail}", "FAILED",
                               "-", "-", "-", "-", "-", "-", "-",
-                              reconnects, replayed)
+                              reconnects, replayed,
+                              *(["-"] * len(cong_cells)))
             else:
                 table.add_row(f"{scheme}: {entry['error']}", "FAILED",
-                              "-", "-", "-", "-", "-", "-", "-", "-", "-")
+                              "-", "-", "-", "-", "-", "-", "-", "-", "-",
+                              *(["-"] * len(cong_cells)))
         print(table.render())
     if args.check:
         print("determinism check passed (two runs bit-identical)",
@@ -470,6 +490,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="install the connection recovery subsystem "
                         "(repro.recovery): lost QP pairs are re-established "
                         "with credit resync instead of failing the run")
+    p.add_argument("--congestion", nargs="?", const="pfc", default=None,
+                   choices=["pfc", "ecn", "both"],
+                   help="arm the switch congestion subsystem "
+                        "(repro.congestion): finite egress queues with PFC "
+                        "pause frames and/or ECN/DCQCN rate control "
+                        "(bare flag = pfc)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as canonical JSON")
     p.add_argument("--check", action="store_true",

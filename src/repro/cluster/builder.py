@@ -38,6 +38,12 @@ class Cluster:
             )
         else:
             self.fabric = Fabric(self.sim, self.config.ib, self.tracer)
+        if self.config.ib.congestion is not None:
+            from repro.congestion import CongestionState
+
+            self.fabric.congestion = CongestionState(
+                self.sim, self.fabric, self.config.ib.congestion, self.tracer
+            )
         self.hcas: List[HCA] = [
             HCA(self.sim, self.fabric, lid, self.config.ib, self.tracer)
             for lid in range(self.config.nodes)
@@ -126,7 +132,7 @@ class Cluster:
         cluster (see :func:`repro.core.stats.reset_counters`)."""
         from repro.core.stats import reset_counters
 
-        reset_counters(self.endpoints)
+        reset_counters(self.endpoints, congestion=self.fabric.congestion)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Cluster nodes={self.config.nodes} ranks={len(self.endpoints)}>"

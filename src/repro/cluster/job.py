@@ -50,6 +50,9 @@ class JobResult:
     failures: List[Any] = field(default_factory=list)
     #: the recovery manager, when the job ran with ``recovery=``
     recovery: Any = field(repr=False, default=None)
+    #: :class:`repro.core.stats.CongestionReport` when the cluster ran
+    #: with the switch congestion subsystem armed; ``None`` otherwise
+    congestion: Any = field(default=None)
 
     @property
     def completed(self) -> bool:
@@ -164,6 +167,8 @@ def run_job(
         cluster.auditor = None
         for ep in endpoints:
             ep._audit = None
+        if cluster.fabric.congestion is not None:
+            cluster.fabric.congestion.audit = None
 
     recovery_mgr = None
     if recovery:
@@ -227,6 +232,14 @@ def run_job(
         if auditor is not None:
             auditor.final_check(expect_quiescent=finalize)
 
+    cong_state = cluster.fabric.congestion
+    if cong_state is not None:
+        from repro.core.stats import collect_congestion_report
+
+        cong_report = collect_congestion_report(cong_state)
+    else:
+        cong_report = None
+
     return JobResult(
         scheme=scheme.name.value,
         nranks=nranks,
@@ -241,4 +254,5 @@ def run_job(
         audit=auditor,
         failures=failures,
         recovery=recovery_mgr,
+        congestion=cong_report,
     )

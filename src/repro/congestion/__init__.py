@@ -1,0 +1,27 @@
+"""Switch congestion subsystem: egress queues, PFC, ECN/DCQCN.
+
+The source paper's flow-control schemes manage *end-to-end* buffer
+credits; this package models what happens *inside the switches* — the
+datacenter failure shapes (N→1 incast, hotspots, victim-flow HoL
+blocking) that link-level congestion creates.  Reference semantics from
+"Implementation of PFC and RCM for RoCEv2 Simulation in OMNeT++"
+(PAPERS.md).
+
+Arm it by setting :class:`CongestionConfig` on ``IBConfig.congestion``
+(the cluster builder installs a :class:`CongestionState` on the fabric);
+leave it ``None`` for the bit-identical baseline path model.
+"""
+
+from repro.congestion.config import CongestionConfig, make_congestion_config
+from repro.congestion.switch import CongestionState, PortQueue
+
+#: the ``repro chaos --congestion`` / sweep-grid mode names
+CONGESTION_MODES = ("pfc", "ecn", "both")
+
+__all__ = [
+    "CONGESTION_MODES",
+    "CongestionConfig",
+    "CongestionState",
+    "PortQueue",
+    "make_congestion_config",
+]

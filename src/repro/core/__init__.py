@@ -21,7 +21,13 @@ from repro.core.base import FlowControlScheme, SchemeName
 from repro.core.dynamic import DynamicScheme
 from repro.core.hardware import HardwareScheme
 from repro.core.static import DEFAULT_ECM_THRESHOLD, StaticScheme
-from repro.core.stats import FlowControlReport, collect_report, per_connection_max_buffers
+from repro.core.stats import (
+    CongestionReport,
+    FlowControlReport,
+    collect_congestion_report,
+    collect_report,
+    per_connection_max_buffers,
+)
 
 #: The canonical evaluation order used by every figure in the paper.
 ALL_SCHEMES = (SchemeName.HARDWARE, SchemeName.STATIC, SchemeName.DYNAMIC)
@@ -47,12 +53,14 @@ def make_scheme(name: Union[str, SchemeName], **kwargs) -> FlowControlScheme:
 __all__ = [
     "ALL_SCHEMES",
     "DEFAULT_ECM_THRESHOLD",
+    "CongestionReport",
     "DynamicScheme",
     "FlowControlReport",
     "FlowControlScheme",
     "HardwareScheme",
     "SchemeName",
     "StaticScheme",
+    "collect_congestion_report",
     "collect_report",
     "make_scheme",
     "per_connection_max_buffers",

@@ -9,8 +9,8 @@ here compute both from a finished job's endpoints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.endpoint import Endpoint
@@ -79,7 +79,80 @@ def collect_report(endpoints: Iterable["Endpoint"]) -> FlowControlReport:
     )
 
 
-def reset_counters(endpoints: Iterable["Endpoint"]) -> None:
+@dataclass
+class CongestionReport:
+    """Job-wide switch-congestion summary (``None`` when disarmed).
+
+    ``per_dest`` is keyed by destination LID (as a string, for stable
+    JSON round-trips) and reports the final host-egress port feeding that
+    destination: peak queued bytes, XOFF episodes, ECN marks and tail
+    drops.  The totals additionally cover the interior (leaf-up /
+    spine-down) ports a fat-tree path traverses.
+    """
+
+    pause_frames: int
+    resume_frames: int
+    xoff_events: int
+    xon_events: int
+    ecn_marks: int
+    cnps: int
+    drops: int
+    depth_peak_bytes: int
+    min_flow_rate: float
+    per_dest: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def collect_congestion_report(state: Any) -> CongestionReport:
+    """Reduce a :class:`repro.congestion.CongestionState` (duck-typed —
+    no import, so this module stays dependency-light) to plain numbers."""
+    counters = state.tracer.counters
+
+    def total(name: str) -> int:
+        c = counters.get(name)
+        return c.total() if c is not None else 0
+
+    def per_key(name: str) -> Dict[Any, int]:
+        c = counters.get(name)
+        return c.snapshot() if c is not None else {}
+
+    xoff_by_port = per_key("cong.xoff")
+    marks_by_port = per_key("cong.ecn_mark")
+    depth_peak = 0
+    per_dest: Dict[str, Dict[str, int]] = {}
+    for key in sorted(state.ports):
+        port = state.ports[key]
+        if port.peak_depth > depth_peak:
+            depth_peak = port.peak_depth
+        if key[0] == "down":
+            per_dest[str(key[1])] = {
+                "depth_peak_bytes": port.peak_depth,
+                "pauses": xoff_by_port.get(key, 0),
+                "marks": marks_by_port.get(key, 0),
+                "drops": port.drops,
+            }
+    min_rate = 1.0
+    for flow in state.flows.values():
+        if flow.min_rate_seen < min_rate:
+            min_rate = flow.min_rate_seen
+    return CongestionReport(
+        pause_frames=total("cong.pause_frame"),
+        resume_frames=total("cong.resume_frame"),
+        xoff_events=total("cong.xoff"),
+        xon_events=total("cong.xon"),
+        ecn_marks=total("cong.ecn_mark"),
+        cnps=total("cong.cnp"),
+        drops=total("cong.drop"),
+        depth_peak_bytes=depth_peak,
+        min_flow_rate=min_rate,
+        per_dest=per_dest,
+    )
+
+
+def reset_counters(endpoints: Iterable["Endpoint"],
+                   congestion: Optional[Any] = None) -> None:
     """Zero every observability counter so a reused cluster starts the
     next job with a clean slate.
 
@@ -88,7 +161,11 @@ def reset_counters(endpoints: Iterable["Endpoint"]) -> None:
     ``run_job`` reported inflated tables.  Live protocol state (credits,
     posted buffers, prepost targets) is deliberately untouched — only
     the counters that :func:`collect_report` and the analysis layer read.
+    With ``congestion`` (the fabric's :class:`CongestionState`, when
+    armed) its port/flow counters are reset the same way.
     """
+    if congestion is not None:
+        congestion.reset_counters()
     for ep in endpoints:
         ep.bytes_sent = 0
         ep.bytes_received = 0

@@ -25,6 +25,21 @@ connection failure instead of hanging.
 the hardware scheme (whose only flow control *is* the RNR timer) blows its
 retry budget while the user-level schemes ride through on credits.
 
+Three congestion scenarios (meaningful with ``--congestion``, but they run
+fine without it as the uncongested baseline):
+
+``incast-n1`` — eight senders flood one sink while a victim flow crosses
+the same switch to an idle destination.  With PFC armed the sink's egress
+queue hits XOFF and pauses *whole ingress ports*, so the victim is
+head-of-line blocked behind traffic it shares nothing with; with ECN the
+hot flows are rate-limited individually and the victim rides through.
+
+``hotspot-skew`` — every rank hammers rank 0 while also running a light
+ring flow; measures how far hotspot backpressure spreads.
+
+``victim-flow`` — a fat-tree with a single spine: three hot flows and one
+victim flow share the lone uplink, the classic HoL-blocking topology.
+
 ``run_chaos`` runs the requested schemes under a scenario and returns a
 plain-dict report (stable key order) so the CLI can render/serialise it
 and the determinism check can compare two runs byte-for-byte.
@@ -38,6 +53,7 @@ from repro.cluster.config import TestbedConfig
 from repro.cluster.job import run_job
 from repro.faults.plan import FaultPlan
 from repro.sim.units import to_us, us
+from repro.workloads.microbench import manyflows_program
 
 SCHEMES = ("hardware", "static", "dynamic")
 
@@ -92,6 +108,7 @@ class Scenario:
         make_program: Callable[[], Callable],
         make_plan: Callable[[int], FaultPlan],
         make_config: Optional[Callable[[], TestbedConfig]] = None,
+        victim_rank: Optional[int] = None,
     ):
         self.name = name
         self.description = description
@@ -102,6 +119,10 @@ class Scenario:
         #: scenario-specific testbed overrides (e.g. finite RNR retries);
         #: None = the calibrated defaults
         self.make_config = make_config
+        #: congestion scenarios: the rank whose finish time is the
+        #: HoL-blocking metric (an innocent flow sharing switch resources
+        #: with the hot flows); None = no victim metric
+        self.victim_rank = victim_rank
 
 
 def _receiver_stall_plan(seed: int) -> FaultPlan:
@@ -143,6 +164,49 @@ def _retry_budget_plan(seed: int) -> FaultPlan:
     return FaultPlan(seed=seed).receiver_stall(
         rank=1, at_ns=us(5), duration_ns=us(3200)
     )
+
+
+def _congestion_plan(seed: int) -> FaultPlan:
+    # No fault events — the plan only arms the transport ACK-timeout retry
+    # (so tail-dropped packets are recovered) with a timeout far above any
+    # queueing delay these scenarios produce; the default 200 us timeout
+    # would fire spuriously while messages sit in paused switch queues.
+    return FaultPlan(seed=seed, transport_timeout_ns=us(20_000))
+
+
+def _incast_flows():
+    # Ranks 1..8 flood rank 0; the victim flow 1 -> 9 shares sender 1's
+    # injection port and the switch with the hot flows but targets an
+    # idle destination.
+    flows = [(s, 0, 25, 1024) for s in range(1, 9)]
+    flows.append((1, 9, 8, 1024))
+    return flows
+
+
+def _incast_config() -> TestbedConfig:
+    return TestbedConfig(nodes=10)
+
+
+def _hotspot_flows():
+    # Every rank hammers rank 0 (the hotspot) while also running a light
+    # ring flow 1->2->...->7->1 that measures collateral damage.
+    flows = []
+    for r in range(1, 8):
+        flows.append((r, 0, 14, 1024))
+        flows.append((r, r % 7 + 1, 10, 1024))
+    return flows
+
+
+def _victim_flows():
+    # Fat-tree, one spine: hot flows 0,1,2 -> 4 and victim 3 -> 5 all
+    # cross leaf 0 -> leaf 1 through the same lone uplink queue.
+    flows = [(0, 4, 20, 1024), (1, 4, 20, 1024), (2, 4, 20, 1024)]
+    flows.append((3, 5, 6, 1024))
+    return flows
+
+
+def _victim_config() -> TestbedConfig:
+    return TestbedConfig(nodes=8, topology="fat-tree", leaf_ports=4, spines=1)
 
 
 def _retry_budget_config() -> TestbedConfig:
@@ -199,6 +263,34 @@ SCENARIOS: Dict[str, Scenario] = {
         make_plan=_retry_budget_plan,
         make_config=_retry_budget_config,
     ),
+    "incast-n1": Scenario(
+        "incast-n1",
+        "8-to-1 incast into rank 0 plus a victim flow to an idle rank",
+        nranks=10,
+        prepost=8,
+        make_program=lambda: manyflows_program(_incast_flows()),
+        make_plan=_congestion_plan,
+        make_config=_incast_config,
+        victim_rank=9,
+    ),
+    "hotspot-skew": Scenario(
+        "hotspot-skew",
+        "all ranks hammer rank 0 while a light ring flow rides along",
+        nranks=8,
+        prepost=8,
+        make_program=lambda: manyflows_program(_hotspot_flows()),
+        make_plan=_congestion_plan,
+    ),
+    "victim-flow": Scenario(
+        "victim-flow",
+        "fat-tree single-spine: 3 hot flows + 1 victim share one uplink",
+        nranks=8,
+        prepost=8,
+        make_program=lambda: manyflows_program(_victim_flows()),
+        make_plan=_congestion_plan,
+        make_config=_victim_config,
+        victim_rank=5,
+    ),
 }
 
 
@@ -220,6 +312,7 @@ def chaos_cell(
     seed: int = 7,
     prepost: Optional[int] = None,
     recovery: bool = False,
+    congestion: Optional[str] = None,
 ) -> Dict:
     """Run one scheme under the named scenario and return its report entry.
 
@@ -232,12 +325,24 @@ def chaos_cell(
     attempts/latency, messages replayed).  A job that loses a QP pair for
     good reports ``completed: False`` with the structured failure records
     instead of an exception string.
+
+    With ``congestion`` set (``"pfc" | "ecn" | "both"``) the job runs with
+    the switch congestion subsystem armed in that mode and the entry gains
+    a ``congestion`` sub-dict (pause frames, ECN marks, drops, per-dest
+    queue peaks) plus — for scenarios that define a victim flow —
+    ``victim_finish_us``.
     """
     sc = _scenario(scenario)
     depth = sc.prepost if prepost is None else prepost
     plan = sc.make_plan(seed)  # fresh plan (and RNG) per run
     plan_end = plan.end_ns
     config = sc.make_config() if sc.make_config is not None else None
+    if congestion is not None:
+        from repro.congestion import make_congestion_config
+
+        if config is None:
+            config = TestbedConfig()
+        config.ib.congestion = make_congestion_config(congestion)
     try:
         result = run_job(
             sc.make_program(), sc.nranks, scheme, depth,
@@ -275,6 +380,10 @@ def chaos_cell(
             if name.startswith("faults.")
         },
     }
+    if sc.victim_rank is not None:
+        entry["victim_finish_us"] = to_us(result.rank_results[sc.victim_rank])
+    if result.congestion is not None:
+        entry["congestion"] = result.congestion.to_dict()
     if mgr is not None:
         entry["recovery"] = mgr.summary()
     return entry
@@ -282,7 +391,7 @@ def chaos_cell(
 
 def chaos_report_header(
     scenario: str, seed: int = 7, prepost: Optional[int] = None,
-    recovery: bool = False,
+    recovery: bool = False, congestion: Optional[str] = None,
 ) -> Dict:
     """The scenario-level fields shared by every scheme's entry."""
     sc = _scenario(scenario)
@@ -294,6 +403,7 @@ def chaos_report_header(
         "nranks": sc.nranks,
         "prepost": depth,
         "recovery": recovery,
+        "congestion": congestion,
         "fault_window_us": to_us(sc.make_plan(seed).end_ns),
         "schemes": {},
     }
@@ -305,13 +415,15 @@ def run_chaos(
     schemes: Iterable[str] = SCHEMES,
     prepost: Optional[int] = None,
     recovery: bool = False,
+    congestion: Optional[str] = None,
 ) -> Dict:
     """Run ``schemes`` under the named scenario; returns the robustness
     report as a plain dict (deterministic content for a fixed seed)."""
     report = chaos_report_header(scenario, seed=seed, prepost=prepost,
-                                 recovery=recovery)
+                                 recovery=recovery, congestion=congestion)
     for scheme in schemes:
         report["schemes"][scheme] = chaos_cell(
-            scenario, scheme, seed=seed, prepost=prepost, recovery=recovery
+            scenario, scheme, seed=seed, prepost=prepost, recovery=recovery,
+            congestion=congestion,
         )
     return report

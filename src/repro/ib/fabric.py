@@ -140,6 +140,11 @@ class Fabric:
         #: Optional :class:`repro.faults.injector.FabricFaultState`.  Left
         #: ``None`` on healthy runs so the hot path pays one identity check.
         self.fault = None
+        #: Optional :class:`repro.congestion.CongestionState`.  When armed,
+        #: transmits route through per-egress-port queues (PFC/ECN) instead
+        #: of the busy-until path math below; ``None`` (the default) keeps
+        #: the baseline model bit-identical at the cost of one check.
+        self.congestion = None
         # observability
         self.messages_sent = 0
         self.payload_bytes = 0
@@ -261,6 +266,16 @@ class Fabric:
         self.wire_bytes += wire
         if scale:
             ser = max(1, int(ser * scale))  # degraded-link serialisation
+
+        cong = self.congestion
+        if cong is not None:
+            # Congested path: per-egress-port queues own the timing from
+            # here (store-and-forward, pause frames, ECN).  Delivery comes
+            # back through _enqueue_data when the last port drains.
+            cong.inject(src_lid, dst_lid, wire, ser, message, extra)
+            self.tracer.record(now, "fabric.tx", src_lid, dst_lid,
+                               payload_bytes, -1)
+            return now
 
         # host -> switch link (FIFO)
         start_up = max(now, self._up_busy[src_lid])

@@ -91,6 +91,18 @@ class FatTreeFabric(Fabric):
             ser = max(1, int(ser * scale))
         src_leaf, dst_leaf = self.leaf_of(src_lid), self.leaf_of(dst_lid)
 
+        cong = self.congestion
+        if cong is not None:
+            # Congested path: the shared leaf-up / spine-down egress
+            # queues (one PortQueue per port, however many routes share
+            # it) own the timing; see repro.congestion.switch.
+            if src_leaf != dst_leaf:
+                self.cross_leaf_msgs += 1
+            cong.inject(src_lid, dst_lid, wire, ser, message, extra)
+            self.tracer.record(now, "fabric.tx", src_lid, dst_lid,
+                               payload_bytes, -1)
+            return now
+
         # host -> leaf
         start = max(now, self._up_busy[src_lid])
         self._up_busy[src_lid] = start + ser

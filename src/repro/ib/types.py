@@ -150,6 +150,13 @@ class IBConfig:
     rq_depth: int = 4096
     cq_depth: int = 65536
 
+    # --- switch congestion (repro.congestion) ---------------------------
+    #: Optional :class:`repro.congestion.CongestionConfig`.  When set, the
+    #: cluster builder installs per-egress-port queue models (finite
+    #: buffers, PFC pause frames, ECN/DCQCN rate control) on the fabric;
+    #: ``None`` keeps the baseline straight-line path model bit-identical.
+    congestion: "object | None" = None
+
     def wire_bytes(self, payload_bytes: int) -> int:
         """Payload size → on-the-wire size including per-MTU-packet headers.
 

@@ -1,6 +1,11 @@
 """Workloads: micro-benchmarks and NAS Parallel Benchmark proxies."""
 
-from repro.workloads.microbench import BWResult, bandwidth_program, latency_program
+from repro.workloads.microbench import (
+    BWResult,
+    bandwidth_program,
+    latency_program,
+    manyflows_program,
+)
 from repro.workloads.nas import KERNEL_ORDER, KERNELS
 
 __all__ = [
@@ -9,4 +14,5 @@ __all__ = [
     "KERNEL_ORDER",
     "bandwidth_program",
     "latency_program",
+    "manyflows_program",
 ]

@@ -56,6 +56,41 @@ def latency_program(size: int, iterations: int = 100, warmup: int = 10) -> Progr
     return prog
 
 
+def manyflows_program(flows) -> Program:
+    """Many concurrent point-to-point flows — the congestion stressor.
+
+    ``flows`` is a sequence of ``(src, dst, msgs, msg_bytes)`` tuples.
+    Every rank pre-posts irecvs for all traffic addressed to it, then
+    pushes its own flows' messages round-robin (a multi-flow sender
+    interleaves, so a hot flow can head-of-line-block a victim flow
+    through a shared egress queue), waits for everything, and returns
+    the simulated time its own traffic completed — the per-rank finish
+    times are the incast/hotspot victim metric.
+    """
+    flows = tuple(tuple(f) for f in flows)
+
+    def prog(mpi) -> Generator:
+        me = mpi.rank
+        reqs = []
+        for src, dst, msgs, msg_bytes in flows:
+            if dst == me:
+                for _ in range(msgs):
+                    r = yield from mpi.irecv(source=src, capacity=msg_bytes)
+                    reqs.append(r)
+        mine = [[dst, msgs, msg_bytes] for src, dst, msgs, msg_bytes in flows
+                if src == me]
+        while any(f[1] > 0 for f in mine):
+            for f in mine:
+                if f[1] > 0:
+                    f[1] -= 1
+                    r = yield from mpi.isend(f[0], size=f[2])
+                    reqs.append(r)
+        yield from mpi.waitall(reqs)
+        return mpi.now
+
+    return prog
+
+
 def bandwidth_program(
     size: int,
     window: int,

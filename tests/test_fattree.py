@@ -99,6 +99,51 @@ def test_uplink_contention_serialises_cross_leaf_flows():
     assert max(done) - min(done) > 0.8 * ser
 
 
+def test_shared_uplink_is_one_queue_for_all_cross_leaf_flows():
+    """Congestion model: every cross-leaf flow through the same spine
+    shares ONE uplink PortQueue object — not one queue per flow — which
+    is what makes PFC head-of-line blocking possible at all."""
+    from repro.congestion import CongestionState, make_congestion_config
+
+    sim, fabric, _ = build_tree(nodes=8, leaf_ports=4, spines=1)
+    state = CongestionState(sim, fabric, make_congestion_config("pfc"))
+    p04 = state.path_for(0, 4)  # leaf 0 -> leaf 1
+    p15 = state.path_for(1, 5)  # different src AND different dst
+    up04 = [p for p in p04 if p.key[0] == "up"]
+    up15 = [p for p in p15 if p.key[0] == "up"]
+    assert len(up04) == len(up15) == 1
+    assert up04[0] is up15[0]  # the same object, not an equal twin
+    assert up04[0].key == ("up", 0, 0)
+    # ...while injection and final egress ports stay per-endpoint
+    assert p04[0] is not p15[0]
+    assert p04[-1] is not p15[-1]
+    # same-leaf traffic never touches the uplink
+    assert all(p.key[0] in ("hup", "down") for p in state.path_for(4, 5))
+
+
+def test_multi_sender_uplink_contention_queues_at_the_uplink():
+    """Three hot flows + a victim into one spine uplink: the shared
+    uplink queue (interior port) is the depth hotspot, deeper than any
+    destination's own egress queue."""
+    from repro.cluster import run_job as run
+    from repro.congestion import make_congestion_config
+    from repro.faults import FaultPlan
+    from repro.sim.units import us
+    from repro.workloads import manyflows_program
+
+    cfg = TestbedConfig(nodes=8, topology="fat-tree", leaf_ports=4, spines=1)
+    cfg.ib.congestion = make_congestion_config("pfc")
+    flows = [(0, 4, 20, 1024), (1, 4, 20, 1024), (2, 4, 20, 1024),
+             (3, 5, 6, 1024)]
+    r = run(manyflows_program(flows), 8, "hardware", prepost=8, config=cfg,
+            faults=FaultPlan(seed=7, transport_timeout_ns=us(20_000)))
+    assert r.completed
+    cong = r.congestion
+    assert cong.pause_frames > 0
+    per_dest_peak = max(d["depth_peak_bytes"] for d in cong.per_dest.values())
+    assert cong.depth_peak_bytes > per_dest_peak
+
+
 def test_invalid_tree_params():
     with pytest.raises(FabricError):
         FatTreeFabric(Simulator(), IBConfig(), leaf_ports=0)

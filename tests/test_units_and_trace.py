@@ -144,3 +144,28 @@ def test_tracer_snapshot_nested_and_sorted():
     snap = t.snapshot()
     assert list(snap) == ["a.counter", "b.counter"]
     assert snap["b.counter"] == {("x", "y"): 3}
+
+
+def test_congestion_counter_names_iterate_sorted():
+    # The congestion subsystem interleaves its cong.* counters with the
+    # fabric/fc families at arbitrary creation order; report rendering
+    # and the determinism check rely on sorted iteration regardless.
+    t = Tracer()
+    names = ["cong.xoff", "fc.ecm", "cong.cnp", "ib.rnr_nak",
+             "cong.pause_frame", "cong.ecn_mark", "cong.xon"]
+    for name in names:
+        t.count(name, ("down", 0))
+    assert [c.name for c in t] == sorted(names)
+    assert list(t.snapshot()) == sorted(names)
+    assert list(t.summary()) == sorted(names)
+
+
+def test_congestion_trace_records_carry_port_keys():
+    t = Tracer(enabled=True)
+    t.record(100, "cong.xoff", ("down", 3))
+    t.record(250, "cong.xon", ("down", 3))
+    t.record(300, "cong.ecn_mark", ("up", 0, 1), 7)
+    assert t.records_of("cong.xoff") == [(100, "cong.xoff", (("down", 3),))]
+    assert t.records_of("cong.ecn_mark") == [
+        (300, "cong.ecn_mark", (("up", 0, 1), 7))
+    ]

@@ -1,6 +1,13 @@
 """Result collection, rendering and run forensics for the harness."""
 
-from repro.analysis.report import Figure, Series, Table, congestion_table, pct_change
+from repro.analysis.report import (
+    Figure,
+    Series,
+    Table,
+    congestion_table,
+    memory_table,
+    pct_change,
+)
 from repro.analysis.timeline import (
     PairTraffic,
     fabric_utilisation,
@@ -16,6 +23,7 @@ __all__ = [
     "congestion_table",
     "fabric_utilisation",
     "flow_control_timeline",
+    "memory_table",
     "pct_change",
     "rank_activity",
 ]

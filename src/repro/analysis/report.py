@@ -162,6 +162,44 @@ def pct_change(new: float, old: float) -> float:
     return 100.0 * (new - old) / old
 
 
+def memory_table(
+    cells: Iterable[Dict[str, Any]],
+    title: str = "Pinned buffer memory vs rank count (Table 2 at scale)",
+) -> Table:
+    """Render scaling-sweep memory cells as a Table-2-shaped table:
+    one row per ``scheme x connection mode``, one column per rank count,
+    values in MB of pinned recv-vbuf bytes.
+
+    Each cell is a dict with ``ranks``, ``scheme``, ``mode`` (``"mesh"``
+    or ``"on-demand"``), ``pinned_bytes``, and optionally
+    ``modeled=True`` for closed-form entries standing in for meshes too
+    big to simulate (rendered with a trailing ``*``).
+    """
+    cells = list(cells)
+    ranks = sorted({c["ranks"] for c in cells})
+    by_key = {(c["scheme"], c["mode"], c["ranks"]): c for c in cells}
+    schemes = []
+    modes = []
+    for c in cells:  # preserve first-seen order
+        if c["scheme"] not in schemes:
+            schemes.append(c["scheme"])
+        if c["mode"] not in modes:
+            modes.append(c["mode"])
+    table = Table(title, [f"{r} ranks (MB)" for r in ranks])
+    for scheme in schemes:
+        for mode in modes:
+            row = []
+            for r in ranks:
+                c = by_key.get((scheme, mode, r))
+                if c is None:
+                    row.append("-")
+                    continue
+                mb = c["pinned_bytes"] / (1024.0 * 1024.0)
+                row.append(f"{mb:.2f}{'*' if c.get('modeled') else ''}")
+            table.add_row(f"{scheme} {mode}", *row)
+    return table
+
+
 def congestion_table(
     per_dest: Dict[str, Dict[str, int]],
     title: str = "Per-destination switch congestion",

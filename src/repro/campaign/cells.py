@@ -126,16 +126,18 @@ def _chaos_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
 
 @cell_kind("ring")
 def _ring_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
-    """The scaling experiment's ring exchange on a fat-tree cluster."""
+    """The scaling experiment's ring exchange on a fat-tree cluster.
+
+    The tree shape comes from :func:`repro.cluster.fat_tree_shape` —
+    two-level up to a few hundred ranks, the three-level pod topology at
+    1,024 — and the metrics carry the memory model's byte counts so the
+    sweep can render the Table-2-at-scale story.
+    """
+    from repro.cluster import fat_tree_shape
+
     nodes = p["nodes"]
-    leaf_ports = p["leaf_ports"]
     iterations = p["iterations"]
-    cfg = TestbedConfig(
-        nodes=nodes,
-        topology="fat-tree",
-        leaf_ports=leaf_ports,
-        spines=max(1, nodes // (2 * leaf_ports)),
-    )
+    cfg = TestbedConfig(nodes=nodes, **fat_tree_shape(nodes))
 
     def ring(mpi):
         nxt = (mpi.rank + 1) % mpi.world_size
@@ -155,9 +157,14 @@ def _ring_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
     posted = sum(
         c.recv_posted for ep in r.endpoints for c in ep.connections.values()
     )
+    mem = r.memory
     return {
         "connections": connections,
         "posted_buffers": posted,
         "elapsed_ns": r.elapsed_ns,
         "elapsed_us": r.elapsed_us,
+        "pinned_bytes": mem.vbuf_pinned_bytes,
+        "qp_bytes": mem.qp_bytes,
+        "total_bytes": mem.total_bytes,
+        "per_rank_peak_bytes": mem.per_rank_peak_bytes,
     }

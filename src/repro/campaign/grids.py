@@ -117,18 +117,35 @@ def incast_grid(
     return specs
 
 
+#: The scaling sweep's rank ladder — the paper's "order of 1,000 nodes".
+RANK_LADDER = (64, 256, 1024)
+
+#: Above this, the full-mesh arm is reported from the closed-form model
+#: instead of simulated: a 1,024-rank mesh is ~1M live QP pairs.
+MESH_MAX_RANKS = 256
+
+
 def scaling_grid(
-    nodes: int = 64,
-    leaf_ports: int = 8,
+    ranks: Iterable[int] = RANK_LADDER,
+    schemes: Iterable[str] = SCHEMES,
+    modes: Iterable[str] = ("mesh", "on-demand"),
     prepost: int = 1,
     iterations: int = 3,
-    scheme: str = "dynamic",
+    mesh_max_ranks: int = MESH_MAX_RANKS,
 ) -> List[JobSpec]:
+    """Ranks x schemes x {mesh, on-demand} ring exchange on the canonical
+    fat-tree for each rank count (:func:`repro.cluster.fat_tree_shape`;
+    three-level at 1,024).  Mesh cells above ``mesh_max_ranks`` are
+    dropped — ``repro scaling`` fills those table entries from the
+    closed-form mesh model instead."""
     return [
-        JobSpec("ring", {"nodes": nodes, "leaf_ports": leaf_ports,
-                         "prepost": prepost, "iterations": iterations,
-                         "scheme": scheme, "on_demand": on_demand})
-        for on_demand in (False, True)
+        JobSpec("ring", {"nodes": r, "scheme": scheme, "prepost": prepost,
+                         "iterations": iterations,
+                         "on_demand": mode == "on-demand"})
+        for r in ranks
+        for scheme in schemes
+        for mode in modes
+        if not (mode == "mesh" and r > mesh_max_ranks)
     ]
 
 
@@ -175,7 +192,8 @@ GRIDS: Dict[str, Grid] = {
     "incast": Grid("congestion scenarios x {pfc,ecn,both} x schemes "
                    "(27 cells)",
                    lambda **kw: incast_grid(**kw)),
-    "scaling": Grid("fat-tree ring: full mesh vs on-demand (2 cells)",
+    "scaling": Grid("ranks 64-1024 x schemes x {mesh, on-demand} ring on "
+                    "fat-trees (15 cells)",
                     lambda **kw: scaling_grid(**kw)),
 }
 

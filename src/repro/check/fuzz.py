@@ -51,8 +51,15 @@ _SIZES = (4, 4, 64, 64, 512, 1000, 1900, 1984, 2000, 4096, 50_000)
 # ----------------------------------------------------------------------
 # workload generation
 # ----------------------------------------------------------------------
-def generate_spec(seed: int, scenario: Optional[str] = None) -> Dict[str, Any]:
-    """One self-contained workload spec, deterministic in ``seed``."""
+def generate_spec(seed: int, scenario: Optional[str] = None,
+                  on_demand: bool = False) -> Dict[str, Any]:
+    """One self-contained workload spec, deterministic in ``seed``.
+
+    With ``on_demand`` the workload runs under lazy connection
+    establishment (``run_job(..., on_demand=True)``) so the differential
+    comparator also covers the CM exchange path; the flag is part of the
+    spec, so replay artifacts reproduce it.
+    """
     rng = random.Random(seed)
     nranks = rng.choice((2, 2, 3, 4))
     prepost = rng.choice((1, 2, 5, 16))
@@ -111,6 +118,7 @@ def generate_spec(seed: int, scenario: Optional[str] = None) -> Dict[str, Any]:
         "ecm_threshold": ecm_threshold,
         "scenario": scenario,
         "recovery": scenario == "link-down",
+        "on_demand": on_demand,
         "faults": faults,
         "messages": messages,
     }
@@ -219,6 +227,7 @@ def run_spec(spec: Dict[str, Any], scheme_name: str) -> Dict[str, Any]:
             faults=faults,
             audit=auditor,
             recovery=recovery,
+            on_demand=bool(spec.get("on_demand", False)),
         )
     except InvariantViolation as v:
         return {
@@ -377,10 +386,12 @@ def run_fuzz(
     scenarios: Sequence[Optional[str]] = SCENARIOS,
     out_dir: str = "fuzz-failures",
     max_shrink: int = 200,
+    on_demand: bool = False,
     log=print,
 ) -> Dict[str, Any]:
     """``runs`` seeded workloads, each run under every scheme.  Failures
-    are shrunk and written to ``out_dir`` as replay artifacts."""
+    are shrunk and written to ``out_dir`` as replay artifacts.  With
+    ``on_demand`` every workload runs under lazy connection setup."""
     summary: Dict[str, Any] = {
         "seed": seed,
         "runs": runs,
@@ -390,7 +401,7 @@ def run_fuzz(
     }
     for k in range(runs):
         scenario = scenarios[k % len(scenarios)] if scenarios else None
-        spec = generate_spec(seed + k, scenario)
+        spec = generate_spec(seed + k, scenario, on_demand=on_demand)
         comparison = compare_schemes(spec, schemes)
         digest = delivered_digest(comparison)
         summary["digests"].append(digest)

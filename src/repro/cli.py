@@ -110,19 +110,73 @@ def cmd_nas(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_scaling(args: argparse.Namespace) -> int:
-    specs = grids.scaling_grid(nodes=args.nodes, leaf_ports=args.leaf_ports,
+def _scaling_metrics(args: argparse.Namespace, ladder: List[int]):
+    """Run the scaling sweep's cells; (ranks, scheme, mode) -> metrics."""
+    specs = grids.scaling_grid(ranks=ladder, schemes=args.schemes,
                                prepost=args.prepost,
                                iterations=args.iterations)
     res = run_cells(specs, workers=args.workers)
-    table = Table(f"Ring on {args.nodes} ranks (fat-tree)",
-                  ["connections", "posted_buffers", "time_us"])
+    metrics = {}
     for out in res.outcomes:
-        label = "on-demand" if out.spec.params["on_demand"] else "full mesh"
-        m = out.metrics
-        table.add_row(label, m["connections"], m["posted_buffers"],
-                      m["elapsed_us"])
-    print(table.render())
+        p = out.spec.params
+        mode = "on-demand" if p["on_demand"] else "mesh"
+        metrics[(p["nodes"], p["scheme"], mode)] = out.metrics
+    return metrics
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.analysis import memory_table
+    from repro.cluster import TestbedConfig
+    from repro.core.memory import mesh_pinned_bytes
+
+    # climb the standard ladder up to --nodes (so `--nodes 1024` shows the
+    # full 64 -> 256 -> 1024 trajectory), plus the requested count itself
+    ladder = sorted({r for r in grids.RANK_LADDER if r < args.nodes}
+                    | {args.nodes})
+    metrics = _scaling_metrics(args, ladder)
+    if args.check:
+        rerun = _scaling_metrics(args, ladder)
+        canon = json.dumps(sorted(metrics.items()), sort_keys=True)
+        if canon != json.dumps(sorted(rerun.items()), sort_keys=True):
+            print("DETERMINISM DRIFT: two identical scaling sweeps disagree",
+                  file=sys.stderr)
+            return 1
+        print("determinism check passed (two runs bit-identical)",
+              file=sys.stderr)
+
+    for r in ladder:
+        table = Table(f"Ring on {r} ranks (fat-tree)",
+                      ["connections", "posted_buffers", "time_us"])
+        for scheme in args.schemes:
+            for mode in ("mesh", "on-demand"):
+                m = metrics.get((r, scheme, mode))
+                if m is None:
+                    continue  # mesh arm above the simulation cap
+                label = f"{scheme} " + ("on-demand" if mode == "on-demand"
+                                        else "full mesh")
+                table.add_row(label, m["connections"], m["posted_buffers"],
+                              m["elapsed_us"])
+        print(table.render())
+        print()
+
+    mpi = TestbedConfig().mpi
+    cells = [
+        {"ranks": r, "scheme": scheme, "mode": mode,
+         "pinned_bytes": m["pinned_bytes"]}
+        for (r, scheme, mode), m in metrics.items()
+    ]
+    for r in ladder:
+        if r > grids.MESH_MAX_RANKS:
+            for scheme in args.schemes:
+                cells.append({
+                    "ranks": r, "scheme": scheme, "mode": "mesh",
+                    "modeled": True,
+                    "pinned_bytes": mesh_pinned_bytes(r, scheme,
+                                                      args.prepost, mpi),
+                })
+    print(memory_table(cells).render())
+    print("(* = closed-form full-mesh model; a mesh that size is not "
+          "simulated)")
     print("\nBuffer memory scales with the communication graph, not P^2 —")
     print("the paper's conclusion, demonstrated beyond its 8-node testbed.")
     return 0
@@ -346,6 +400,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         scenarios=scenarios,
         out_dir=args.out_dir,
         max_shrink=args.max_shrink,
+        on_demand=args.on_demand,
     )
     if args.check:
         rerun = fuzz.run_fuzz(
@@ -355,6 +410,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             scenarios=scenarios,
             out_dir="",  # artifacts from the first pass suffice
             max_shrink=args.max_shrink,
+            on_demand=args.on_demand,
             log=None,
         )
         if summary["digests"] != rerun["digests"]:
@@ -424,13 +480,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "top 20 functions by cumulative time (no report)")
     p.set_defaults(fn=cmd_perf)
 
-    p = sub.add_parser("scaling", help="dynamic + on-demand on a fat tree")
-    p.add_argument("--nodes", type=int, default=64)
-    p.add_argument("--leaf-ports", type=int, default=8)
+    p = sub.add_parser(
+        "scaling",
+        help="ranks 64-1024 x schemes x {mesh, on-demand} on fat trees, "
+             "with the Table-2-at-scale memory table")
+    p.add_argument("--nodes", type=int, default=64,
+                   help="top of the rank ladder (1024 = the three-level "
+                        "pod fat-tree)")
+    p.add_argument("--schemes", nargs="+", default=list(SCHEMES),
+                   choices=SCHEMES, help="flow control schemes to compare")
     p.add_argument("--prepost", type=int, default=1)
     p.add_argument("--iterations", type=int, default=3)
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for independent cells")
+    p.add_argument("--check", action="store_true",
+                   help="run the sweep twice and exit 1 unless bit-identical")
     p.set_defaults(fn=cmd_scaling)
 
     p = sub.add_parser(
@@ -520,6 +584,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "link-down"],
                    help="fault scenarios cycled across runs (link-down "
                         "runs under the connection recovery subsystem)")
+    p.add_argument("--on-demand", action="store_true",
+                   help="run every workload under lazy (on-demand) "
+                        "connection establishment, so the differential "
+                        "comparator covers the CM exchange path")
     p.add_argument("--out-dir", default="fuzz-failures",
                    help="where minimized replay artifacts land ('' to skip)")
     p.add_argument("--max-shrink", type=int, default=200,

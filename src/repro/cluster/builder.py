@@ -35,6 +35,8 @@ class Cluster:
             self.fabric = FatTreeFabric(
                 self.sim, self.config.ib, self.tracer,
                 leaf_ports=self.config.leaf_ports, spines=self.config.spines,
+                levels=self.config.levels,
+                pod_leaves=self.config.pod_leaves, cores=self.config.cores,
             )
         else:
             self.fabric = Fabric(self.sim, self.config.ib, self.tracer)
@@ -63,20 +65,25 @@ class Cluster:
         nranks: int,
         scheme: FlowControlScheme,
         prepost: int,
-        on_demand: bool = False,
+        on_demand: Optional[bool] = None,
     ) -> List[Endpoint]:
         """Create ``nranks`` endpoints and wire their connections.
 
-        Default: the paper's MPI_Init behaviour — a full all-to-all RC
-        mesh with pre-posted buffers on every connection.  With
-        ``on_demand=True``, connections are established lazily by a
+        ``on_demand=False``: the paper's MPI_Init behaviour — a full
+        all-to-all RC mesh with pre-posted buffers on every connection.
+        With ``on_demand=True``, connections are established lazily by a
         :class:`~repro.cluster.on_demand.ConnectionManager` when two ranks
-        first communicate (available afterwards as ``cluster.cm``).
+        first communicate (available afterwards as ``cluster.cm``).  Left
+        unspecified (``None``), jobs at or above
+        ``TestbedConfig.on_demand_threshold`` ranks go on-demand
+        automatically — a 1,024-rank mesh would wire ~1M QP pairs.
         """
         if self.endpoints:
             raise RuntimeError("cluster already launched")
         if nranks < 1:
             raise ValueError("need at least one rank")
+        if on_demand is None:
+            on_demand = nranks >= self.config.on_demand_threshold
 
         connector = None
         if on_demand:

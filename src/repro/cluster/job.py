@@ -53,6 +53,9 @@ class JobResult:
     #: :class:`repro.core.stats.CongestionReport` when the cluster ran
     #: with the switch congestion subsystem armed; ``None`` otherwise
     congestion: Any = field(default=None)
+    #: :class:`repro.core.memory.MemoryReport` — per-scheme pinned-vbuf /
+    #: QP / CQ byte accounting (the Table-2 quantity, in bytes)
+    memory: Any = field(repr=False, default=None)
 
     @property
     def completed(self) -> bool:
@@ -88,7 +91,7 @@ def run_job(
     config: Optional[TestbedConfig] = None,
     finalize: bool = True,
     trace: bool = False,
-    on_demand: bool = False,
+    on_demand: Optional[bool] = None,
     max_events: int = MAX_JOB_EVENTS,
     faults: Optional[Any] = None,
     audit: Union[bool, Any] = False,
@@ -111,7 +114,9 @@ def run_job(
     on_demand:
         Establish connections lazily on first communication instead of a
         full mesh at init (the paper's suggested scalability combination;
-        see repro.cluster.on_demand).
+        see repro.cluster.on_demand).  Left at ``None``, jobs with at
+        least ``TestbedConfig.on_demand_threshold`` ranks go on-demand
+        automatically; an explicit ``True``/``False`` always wins.
     finalize:
         Append an ``mpi.finalize()`` after the program (recommended; keeps
         statistics exact and guards against in-flight stragglers).
@@ -188,6 +193,11 @@ def run_job(
         if isinstance(faults, dict):
             faults = FaultPlan.from_spec(faults)
         FaultInjector(cluster, faults).install()
+    elif cluster.fabric.fault is not None:
+        # a prior faulted job on this cluster left its fault state armed —
+        # disarm, like the auditor/recovery hooks above (already-scheduled
+        # begin/end transitions mutate the orphaned state harmlessly)
+        cluster.fabric.fault = None
 
     finish_ns = [0] * nranks
     t0 = cluster.sim.now  # non-zero on reused clusters
@@ -240,6 +250,8 @@ def run_job(
     else:
         cong_report = None
 
+    from repro.core.memory import collect_memory_report
+
     return JobResult(
         scheme=scheme.name.value,
         nranks=nranks,
@@ -255,4 +267,5 @@ def run_job(
         failures=failures,
         recovery=recovery_mgr,
         congestion=cong_report,
+        memory=collect_memory_report(endpoints, cluster.config),
     )

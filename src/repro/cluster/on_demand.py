@@ -37,7 +37,14 @@ DEFAULT_SETUP_NS = us(250)
 
 
 class ConnectionManager:
-    """Lazily wires RC connections between endpoint pairs."""
+    """Lazily wires RC connections between endpoint pairs.
+
+    Teardown-aware: a pair the recovery subsystem gave up on
+    (:meth:`teardown`, called from ``RecoveryManager._fail``) is fully
+    forgotten — its memoized setup signal *and* both endpoints'
+    ``Connection`` objects — so a later ``request()`` re-runs the CM
+    exchange instead of handing back a fired signal for a dead pair.
+    """
 
     def __init__(self, cluster: "Cluster", setup_ns: int = DEFAULT_SETUP_NS):
         self.cluster = cluster
@@ -45,6 +52,10 @@ class ConnectionManager:
         self._pending: Dict[Tuple[int, int], Signal] = {}
         #: unordered pairs wired so far (observability)
         self.established = 0
+        #: pairs dismantled after a permanent connection loss
+        self.torn_down = 0
+        #: stale fired signals dropped by :meth:`request`'s self-heal
+        self.invalidated = 0
 
     def request(self, endpoint: "Endpoint", peer: int) -> Signal:
         """Start (or join) connection setup between ``endpoint.rank`` and
@@ -52,11 +63,32 @@ class ConnectionManager:
         pair = (min(endpoint.rank, peer), max(endpoint.rank, peer))
         sig = self._pending.get(pair)
         if sig is not None:
-            return sig
+            if not sig.fired or pair[1] in self.cluster.endpoints[pair[0]].connections:
+                return sig
+            # Fired memo but the connections are gone: the pair was torn
+            # down behind our back (a teardown path that bypassed
+            # :meth:`teardown`).  Forget the stale signal and re-establish
+            # — a one-shot Signal cannot be re-fired.
+            self.invalidated += 1
+            del self._pending[pair]
         sig = Signal(f"cm.{pair}")
         self._pending[pair] = sig
         self.cluster.sim.schedule(self.setup_ns, self._establish, pair, sig)
         return sig
+
+    def teardown(self, rank_a: int, rank_b: int) -> None:
+        """Dismantle the pair's connection state after a permanent loss
+        (recovery attempt budget exhausted): drop both directions'
+        ``Connection`` objects and the fired setup signal, so the next
+        ``request()`` for the pair starts a fresh CM exchange."""
+        pair = (min(rank_a, rank_b), max(rank_a, rank_b))
+        a = self.cluster.endpoints[pair[0]]
+        b = self.cluster.endpoints[pair[1]]
+        had = a.connections.pop(pair[1], None)
+        b.connections.pop(pair[0], None)
+        self._pending.pop(pair, None)
+        if had is not None:
+            self.torn_down += 1
 
     def _establish(self, pair: Tuple[int, int], sig: Signal) -> None:
         a = self.cluster.endpoints[pair[0]]

@@ -42,7 +42,11 @@ from repro.congestion.config import CongestionConfig
 from repro.sim import Simulator
 from repro.sim.trace import Tracer
 
-PortKey = Tuple  # ("hup", lid) | ("down", lid) | ("up", leaf, spine) | ("sdown", spine, leaf)
+#: ("hup", lid) | ("down", lid) host access ports, plus one key per
+#: interior fat-tree link (see repro.ib.fattree.LinkKey): ("up", leaf,
+#: spine) | ("sdown", spine, leaf) | ("sup", spine, core) | ("cdown",
+#: core, spine)
+PortKey = Tuple
 
 
 class _Transit:
@@ -278,12 +282,11 @@ class CongestionState:
     def _build_path(self, src: int, dst: int) -> tuple:
         hops = [self._port(("hup", src), finite=False)]
         if self.fattree:
-            fabric = self.fabric
-            src_leaf, dst_leaf = fabric.leaf_of(src), fabric.leaf_of(dst)
-            if src_leaf != dst_leaf:
-                spine = fabric._spine_for(dst)
-                hops.append(self._port(("up", src_leaf, spine), finite=True))
-                hops.append(self._port(("sdown", spine, dst_leaf), finite=True))
+            # one finite egress queue per interior link the fabric's
+            # d-mod-k route traverses (leaf-up, spine-up, core-down,
+            # spine-down) — however many levels the tree has
+            for link in self.fabric.path_links(src, dst):
+                hops.append(self._port(link, finite=True))
         hops.append(self._port(("down", dst), finite=True))
         return tuple(hops)
 

@@ -20,6 +20,12 @@ from typing import Union
 from repro.core.base import FlowControlScheme, SchemeName
 from repro.core.dynamic import DynamicScheme
 from repro.core.hardware import HardwareScheme
+from repro.core.memory import (
+    MemoryReport,
+    collect_memory_report,
+    mesh_pinned_bytes,
+    predicted_connection_bytes,
+)
 from repro.core.static import DEFAULT_ECM_THRESHOLD, StaticScheme
 from repro.core.stats import (
     CongestionReport,
@@ -58,10 +64,14 @@ __all__ = [
     "FlowControlReport",
     "FlowControlScheme",
     "HardwareScheme",
+    "MemoryReport",
     "SchemeName",
     "StaticScheme",
     "collect_congestion_report",
+    "collect_memory_report",
     "collect_report",
     "make_scheme",
+    "mesh_pinned_bytes",
     "per_connection_max_buffers",
+    "predicted_connection_bytes",
 ]

@@ -1,0 +1,172 @@
+"""Per-scheme memory-footprint accounting — the Table 2 story at scale.
+
+The paper's entire case for the dynamic scheme is pinned-buffer memory on
+"clusters in the order of 1,000 to 10,000 nodes": with P processes a full
+mesh holds P-1 connections per process, and every connection pins
+``prepost`` receive vbufs whether or not the pair ever communicates.
+Table 2 reports the per-connection buffer high-water under the dynamic
+scheme; this module generalizes that to a full memory model so the
+scaling sweeps can plot *bytes* against rank count:
+
+* **pinned recv vbufs** — ``(max_prepost + headroom) * vbuf_bytes`` per
+  connection (the high-water population the rank had to keep registered;
+  in RDMA-channel mode the ring slots plus the fixed control-vbuf budget
+  instead);
+* **QP descriptor state** — queue-pair context plus send/recv WQE arrays
+  in HCA-attached memory, per connection;
+* **CQ descriptor state** — one CQE array per endpoint (the paper's MPI
+  binds every QP to one CQ per process);
+* **send pool** — the per-endpoint shared pool of pre-pinned send vbufs.
+
+Everything is derived from a finished job's endpoints — the same source
+:func:`repro.core.stats.collect_report` reads — plus the closed forms
+(:func:`predicted_connection_bytes`, :func:`mesh_pinned_bytes`) the
+conservation tests and the modeled 1,024-rank mesh rows use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.config import TestbedConfig
+    from repro.mpi.connection import Connection
+    from repro.mpi.endpoint import Endpoint
+
+#: Queue-pair context bytes (InfiniHost-era QPC + address vector state).
+QPC_BYTES = 256
+#: One work-queue element (send or receive descriptor slot).
+WQE_BYTES = 64
+#: One completion-queue element.
+CQE_BYTES = 32
+
+
+@dataclass
+class MemoryReport:
+    """Job-wide memory footprint, all quantities in bytes."""
+
+    connections: int
+    #: high-water pinned receive-vbuf bytes across all connections — the
+    #: paper's scalability quantity (Table 2 times vbuf size)
+    vbuf_pinned_bytes: int
+    #: receive-vbuf bytes still posted when the job ended
+    vbuf_posted_bytes: int
+    #: QP context + WQE arrays across all connections
+    qp_bytes: int
+    #: CQE arrays across all endpoints
+    cq_bytes: int
+    #: RDMA eager-ring slots across all connections (0 unless the
+    #: RDMA channel is enabled)
+    ring_bytes: int
+    #: shared send-pool vbufs across all endpoints
+    send_pool_bytes: int
+    #: everything above, summed
+    total_bytes: int
+    #: the single hungriest rank's footprint (pinned + QP + CQ + pool)
+    per_rank_peak_bytes: int
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / (1024.0 * 1024.0)
+
+    @property
+    def pinned_mb(self) -> float:
+        return self.vbuf_pinned_bytes / (1024.0 * 1024.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = asdict(self)
+        d["pinned_mb"] = self.pinned_mb
+        d["total_mb"] = self.total_mb
+        return d
+
+
+def qp_state_bytes(ib: Any) -> int:
+    """Descriptor memory one RC queue pair owns: context plus its send
+    and receive WQE arrays (sized at creation, pinned for the QP's
+    lifetime)."""
+    return QPC_BYTES + (ib.sq_depth + ib.rq_depth) * WQE_BYTES
+
+
+def connection_memory_bytes(conn: "Connection", mpi: Any, ib: Any) -> Tuple[int, int, int, int]:
+    """One connection's ``(pinned, posted, qp, ring)`` byte counts.
+
+    ``pinned`` is the high-water receive population —
+    ``max_prepost + headroom`` vbufs (what the rank had to keep
+    registered), or the fixed control budget in RDMA-channel mode, where
+    credits govern ring slots rather than WQEs.
+    """
+    if conn.rdma_eager:
+        pinned = mpi.rdma_control_bufs * mpi.vbuf_bytes
+        ring = conn.tx_ring_slots * mpi.vbuf_bytes
+        if conn.rx_channel is not None:
+            ring += conn.rx_channel.ring.slots * mpi.vbuf_bytes
+    else:
+        pinned = (conn.stats.max_prepost + conn.headroom) * mpi.vbuf_bytes
+        ring = 0
+    posted = conn.recv_posted * mpi.vbuf_bytes
+    return pinned, posted, qp_state_bytes(ib), ring
+
+
+def collect_memory_report(endpoints: Iterable["Endpoint"],
+                          config: "TestbedConfig") -> MemoryReport:
+    """Aggregate every endpoint's connections into one report."""
+    mpi, ib = config.mpi, config.ib
+    connections = 0
+    pinned = posted = qp = ring = cq = pool = 0
+    per_rank_peak = 0
+    for ep in endpoints:
+        rank_bytes = ib.cq_depth * CQE_BYTES
+        rank_bytes += mpi.send_pool_buffers * mpi.vbuf_bytes
+        cq += ib.cq_depth * CQE_BYTES
+        pool += mpi.send_pool_buffers * mpi.vbuf_bytes
+        for conn in ep.connections.values():
+            connections += 1
+            p, po, q, rg = connection_memory_bytes(conn, mpi, ib)
+            pinned += p
+            posted += po
+            qp += q
+            ring += rg
+            rank_bytes += p + q + rg
+        if rank_bytes > per_rank_peak:
+            per_rank_peak = rank_bytes
+    return MemoryReport(
+        connections=connections,
+        vbuf_pinned_bytes=pinned,
+        vbuf_posted_bytes=posted,
+        qp_bytes=qp,
+        cq_bytes=cq,
+        ring_bytes=ring,
+        send_pool_bytes=pool,
+        total_bytes=pinned + qp + cq + ring + pool,
+        per_rank_peak_bytes=per_rank_peak,
+    )
+
+
+def scheme_headroom(scheme_name: str) -> int:
+    """Non-credited optimistic headroom a scheme adds per connection
+    (0 for hardware; the default optimistic budget for static/dynamic —
+    *independent of the ECM threshold*, which shapes credit-return
+    traffic, never buffer counts)."""
+    from repro.core import make_scheme
+
+    return make_scheme(scheme_name).optimistic_headroom
+
+
+def predicted_connection_bytes(scheme_name: str, prepost: int,
+                               mpi: Any, ib: Any) -> int:
+    """Closed-form bytes one idle connection costs under a scheme: the
+    pre-posted vbufs (plus the scheme's optimistic headroom) and the QP
+    descriptor state.  The conservation tests pin the measured
+    per-connection sum to this."""
+    return ((prepost + scheme_headroom(scheme_name)) * mpi.vbuf_bytes
+            + qp_state_bytes(ib))
+
+
+def mesh_pinned_bytes(nranks: int, scheme_name: str, prepost: int,
+                      mpi: Any) -> int:
+    """Closed-form pinned recv-vbuf bytes of a full P x (P-1) mesh — the
+    analytic stand-in for mesh cells too big to simulate (a 1,024-rank
+    mesh is ~1M live connections)."""
+    per_conn = (prepost + scheme_headroom(scheme_name)) * mpi.vbuf_bytes
+    return nranks * (nranks - 1) * per_conn

@@ -1,17 +1,30 @@
-"""Two-level fat-tree fabric — the topology of the large clusters the
+"""Multi-level fat-tree fabric — the topology of the large clusters the
 paper's introduction targets ("in the order of 1,000 to 10,000 nodes").
 
 The single-crossbar :class:`~repro.ib.fabric.Fabric` models the paper's
-8-port InfiniScale testbed; this subclass scales past one switch: hosts
-attach to *leaf* switches (``leaf_ports`` hosts each), and every leaf has
-one uplink to each of ``spines`` spine switches.
+8-port InfiniScale testbed; this subclass scales past one switch.
 
-Routing is the standard d-mod-k scheme: traffic within a leaf crosses only
-that leaf; cross-leaf traffic ascends on the uplink chosen by
-``dst_lid % spines`` (deterministic, so a flow stays ordered) and descends
-to the destination leaf.  All four traversed links (host-up, leaf-up,
-spine-down, host-down) carry FIFO busy-until contention; switch hops add
-pipeline latency.
+Two-level (``levels=2``, the default): hosts attach to *leaf* switches
+(``leaf_ports`` hosts each), and every leaf has one uplink to each of
+``spines`` spine switches.
+
+Three-level (``levels=3``): leaves are grouped into *pods* of
+``pod_leaves`` leaves; each pod has its own ``spines`` spine switches,
+and every spine has one uplink to each of ``cores`` core switches.
+Intra-pod traffic turns around at a pod spine; inter-pod traffic ascends
+host→leaf→spine→core and descends core→spine→leaf→host.
+
+Routing is the standard d-mod-k scheme generalized across tiers: the
+spine index is ``dst_lid % spines`` (in the source pod on the way up and
+the destination pod on the way down — the same index, so the route is
+symmetric about the core) and the core is ``dst_lid % cores``.  All
+choices depend only on the destination, so every flow stays ordered.
+
+Every traversed link carries FIFO busy-until contention; switch hops add
+pipeline latency.  :meth:`path_links` enumerates the interior links of a
+path as stable keys — the congestion subsystem keys its egress-port
+queues on them, and ``link_msgs`` counts per-link data messages for hop
+accounting (``tests/test_fattree_property.py``).
 
 This keeps every transport/MPI layer byte-for-byte identical — only path
 latency and contention change — so flow-control experiments can be re-run
@@ -29,9 +42,16 @@ from repro.sim import Simulator
 from repro.sim.trace import Tracer
 from repro.sim.units import transfer_ns
 
+#: Interior-link keys (see :meth:`FatTreeFabric.path_links`):
+#: ``("up", leaf, spine)`` leaf→spine, ``("sdown", spine, leaf)``
+#: spine→leaf, ``("sup", spine, core)`` spine→core, ``("cdown", core,
+#: spine)`` core→spine.  Spine ids are global (``pod * spines + index``)
+#: so two pods' uplinks never alias.
+LinkKey = Tuple
+
 
 class FatTreeFabric(Fabric):
-    """Hosts → leaf switches → spine switches, FIFO contention per link."""
+    """Hosts → leaves → spines (→ cores), FIFO contention per link."""
 
     def __init__(
         self,
@@ -40,24 +60,88 @@ class FatTreeFabric(Fabric):
         tracer: Optional[Tracer] = None,
         leaf_ports: int = 8,
         spines: int = 2,
+        levels: int = 2,
+        pod_leaves: Optional[int] = None,
+        cores: Optional[int] = None,
     ):
         super().__init__(sim, config, tracer)
         if leaf_ports < 1 or spines < 1:
             raise FabricError("fat tree needs >=1 leaf port and >=1 spine")
+        if levels not in (2, 3):
+            raise FabricError(f"fat tree supports 2 or 3 levels, not {levels}")
+        if levels == 3:
+            if not pod_leaves or pod_leaves < 1:
+                raise FabricError("3-level fat tree needs pod_leaves >= 1")
+            if not cores or cores < 1:
+                raise FabricError("3-level fat tree needs cores >= 1")
+        else:
+            pod_leaves = None  # one implicit pod spanning every leaf
+            cores = None
         self.leaf_ports = leaf_ports
-        self.spines = spines
-        # busy-until per inter-switch unidirectional link
-        self._leaf_up: Dict[Tuple[int, int], int] = {}  # (leaf, spine)
-        self._leaf_down: Dict[Tuple[int, int], int] = {}  # (spine, leaf)
+        self.spines = spines  # per pod when levels == 3
+        self.levels = levels
+        self.pod_leaves = pod_leaves
+        self.cores = cores
+        #: busy-until horizon per interior unidirectional link
+        self._link_busy: Dict[LinkKey, int] = {}
+        #: (src, dst) -> interior link tuple, memoized (paths are static)
+        self._path_cache: Dict[Tuple[int, int], tuple] = {}
         # observability
         self.cross_leaf_msgs = 0
+        self.cross_pod_msgs = 0
+        #: data messages per traversed link, host links included
+        #: (``("hup", lid)`` host→leaf, ``("down", lid)`` leaf→host)
+        self.link_msgs: Dict[LinkKey, int] = {}
 
+    # ------------------------------------------------------------------
+    # topology arithmetic
     # ------------------------------------------------------------------
     def leaf_of(self, lid: int) -> int:
         return lid // self.leaf_ports
 
+    def pod_of(self, leaf: int) -> int:
+        return leaf // self.pod_leaves if self.pod_leaves else 0
+
     def _spine_for(self, dst_lid: int) -> int:
-        return dst_lid % self.spines  # d-mod-k: deterministic, in-order
+        """Pod-local spine index — d-mod-k: deterministic, in-order."""
+        return dst_lid % self.spines
+
+    def _core_for(self, dst_lid: int) -> int:
+        return dst_lid % self.cores
+
+    # ------------------------------------------------------------------
+    # path enumeration
+    # ------------------------------------------------------------------
+    def path_links(self, src_lid: int, dst_lid: int) -> tuple:
+        """The interior links a ``src→dst`` data message traverses, as
+        stable keys, in traversal order.  Host access links are not
+        included (they are per-endpoint, keyed by LID alone).  Empty for
+        same-leaf (and loopback) traffic."""
+        key = (src_lid, dst_lid)
+        path = self._path_cache.get(key)
+        if path is None:
+            path = self._path_cache[key] = self._build_links(src_lid, dst_lid)
+        return path
+
+    def _build_links(self, src_lid: int, dst_lid: int) -> tuple:
+        src_leaf, dst_leaf = self.leaf_of(src_lid), self.leaf_of(dst_lid)
+        if src_leaf == dst_leaf:
+            return ()
+        idx = self._spine_for(dst_lid)
+        if self.levels == 2:
+            return (("up", src_leaf, idx), ("sdown", idx, dst_leaf))
+        src_pod, dst_pod = self.pod_of(src_leaf), self.pod_of(dst_leaf)
+        s_src = src_pod * self.spines + idx
+        if src_pod == dst_pod:
+            return (("up", src_leaf, s_src), ("sdown", s_src, dst_leaf))
+        core = self._core_for(dst_lid)
+        s_dst = dst_pod * self.spines + idx
+        return (
+            ("up", src_leaf, s_src),
+            ("sup", s_src, core),
+            ("cdown", core, s_dst),
+            ("sdown", s_dst, dst_leaf),
+        )
 
     # ------------------------------------------------------------------
     def transmit(self, src_lid: int, dst_lid: int, payload_bytes: int, message: Any) -> int:
@@ -89,40 +173,40 @@ class FatTreeFabric(Fabric):
         ser = transfer_ns(wire, cfg.effective_bytes_per_ns())
         if scale:
             ser = max(1, int(ser * scale))
-        src_leaf, dst_leaf = self.leaf_of(src_lid), self.leaf_of(dst_lid)
+        links = self.path_links(src_lid, dst_lid)
+        if links:
+            self.cross_leaf_msgs += 1
+            if len(links) == 4:
+                self.cross_pod_msgs += 1
 
         cong = self.congestion
         if cong is not None:
-            # Congested path: the shared leaf-up / spine-down egress
-            # queues (one PortQueue per port, however many routes share
-            # it) own the timing; see repro.congestion.switch.
-            if src_leaf != dst_leaf:
-                self.cross_leaf_msgs += 1
+            # Congested path: the shared interior egress queues (one
+            # PortQueue per port, however many routes share it) own the
+            # timing; see repro.congestion.switch.
             cong.inject(src_lid, dst_lid, wire, ser, message, extra)
             self.tracer.record(now, "fabric.tx", src_lid, dst_lid,
                                payload_bytes, -1)
             return now
 
+        lm = self.link_msgs
+        lm[("hup", src_lid)] = lm.get(("hup", src_lid), 0) + 1
         # host -> leaf
         start = max(now, self._up_busy[src_lid])
         self._up_busy[src_lid] = start + ser
         head = start + cfg.link_prop_ns + cfg.switch_delay_ns
 
-        if src_leaf != dst_leaf:
-            self.cross_leaf_msgs += 1
-            spine = self._spine_for(dst_lid)
-            # leaf -> spine
-            up_key = (src_leaf, spine)
-            t = max(head, self._leaf_up.get(up_key, 0))
-            self._leaf_up[up_key] = t + ser
-            head = t + cfg.link_prop_ns + cfg.switch_delay_ns
-            # spine -> destination leaf
-            down_key = (spine, dst_leaf)
-            t = max(head, self._leaf_down.get(down_key, 0))
-            self._leaf_down[down_key] = t + ser
-            head = t + cfg.link_prop_ns + cfg.switch_delay_ns
+        # interior tiers (leaf->spine[->core->spine]->leaf)
+        busy = self._link_busy
+        hop_ns = cfg.link_prop_ns + cfg.switch_delay_ns
+        for link in links:
+            t = max(head, busy.get(link, 0))
+            busy[link] = t + ser
+            lm[link] = lm.get(link, 0) + 1
+            head = t + hop_ns
 
         # leaf -> host
+        lm[("down", dst_lid)] = lm.get(("down", dst_lid), 0) + 1
         start_down = max(head, self._down_busy[dst_lid])
         self._down_busy[dst_lid] = start_down + ser
         arrival = start_down + ser + cfg.link_prop_ns + extra
@@ -136,11 +220,16 @@ class FatTreeFabric(Fabric):
         if src_lid == dst_lid:
             return cfg.loopback_ns
         ser = transfer_ns(cfg.ack_bytes, cfg.link_rate.bytes_per_ns)
-        hops = 1 if self.leaf_of(src_lid) == self.leaf_of(dst_lid) else 3
+        # switches on the path: 1 same-leaf, 3 through a spine, 5 through
+        # a core — one more than the interior link count
+        hops = 1 + len(self.path_links(src_lid, dst_lid))
         return (hops + 1) * cfg.link_prop_ns + hops * cfg.switch_delay_ns + ser
 
     def __repr__(self) -> str:  # pragma: no cover
+        shape = f"leaf_ports={self.leaf_ports} spines={self.spines}"
+        if self.levels == 3:
+            shape += f" pod_leaves={self.pod_leaves} cores={self.cores}"
         return (
-            f"<FatTreeFabric lids={len(self._lids)} leaf_ports={self.leaf_ports} "
-            f"spines={self.spines}>"
+            f"<FatTreeFabric lids={len(self._lids)} levels={self.levels} "
+            f"{shape}>"
         )

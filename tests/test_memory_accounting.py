@@ -1,0 +1,125 @@
+"""Per-scheme memory accounting (repro.core.memory): measured footprints
+must conserve against the closed forms, stay invariant under the ECM
+threshold (which shapes credit-return *traffic*, never buffer counts),
+and reproduce the paper's scalability headline — on-demand pinned bytes
+track the communication graph, full-mesh pinned bytes track P².
+"""
+
+import pytest
+
+from repro.cluster import TestbedConfig, run_job
+from repro.core import make_scheme
+from repro.core.memory import (
+    CQE_BYTES,
+    mesh_pinned_bytes,
+    predicted_connection_bytes,
+    qp_state_bytes,
+    scheme_headroom,
+)
+
+SCHEMES = ("hardware", "static", "dynamic")
+
+
+def light_ring(mpi):
+    """One small message per neighbour — light enough that the dynamic
+    scheme never grows past its initial pre-post."""
+    nxt = (mpi.rank + 1) % mpi.world_size
+    prv = (mpi.rank - 1) % mpi.world_size
+    rreq = yield from mpi.irecv(source=prv, capacity=256, tag=0)
+    yield from mpi.send(nxt, size=64, tag=0)
+    yield from mpi.wait(rreq)
+
+
+# ----------------------------------------------------------------------
+# conservation: measured == closed form, connection by connection
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_mesh_memory_conserves_against_closed_form(scheme):
+    prepost = 4
+    cfg = TestbedConfig(nodes=4)
+    r = run_job(light_ring, 4, scheme, prepost=prepost, config=cfg,
+                finalize=False)
+    mem = r.memory
+    assert mem.connections == 4 * 3  # full mesh, directed
+    expected_per_conn = predicted_connection_bytes(
+        scheme, prepost, cfg.mpi, cfg.ib)
+    assert mem.vbuf_pinned_bytes + mem.qp_bytes == 12 * expected_per_conn
+    # the fixed per-endpoint state is exact too
+    assert mem.cq_bytes == 4 * cfg.ib.cq_depth * CQE_BYTES
+    assert mem.send_pool_bytes == 4 * cfg.mpi.send_pool_buffers * cfg.mpi.vbuf_bytes
+    assert mem.ring_bytes == 0  # RDMA channel off
+    assert mem.total_bytes == (mem.vbuf_pinned_bytes + mem.qp_bytes
+                               + mem.cq_bytes + mem.send_pool_bytes)
+    # symmetric workload: every rank's footprint is the peak
+    per_conn_rank = (prepost + scheme_headroom(scheme)) * cfg.mpi.vbuf_bytes \
+        + qp_state_bytes(cfg.ib)
+    assert mem.per_rank_peak_bytes == (
+        cfg.ib.cq_depth * CQE_BYTES
+        + cfg.mpi.send_pool_buffers * cfg.mpi.vbuf_bytes
+        + 3 * per_conn_rank)
+
+
+def test_headroom_matches_scheme_policy():
+    """Hardware pins exactly the pre-post; the user-level schemes add the
+    optimistic headroom on top."""
+    assert scheme_headroom("hardware") == 0
+    assert scheme_headroom("static") == make_scheme("static").optimistic_headroom
+    assert scheme_headroom("dynamic") == make_scheme("dynamic").optimistic_headroom
+    cfg = TestbedConfig(nodes=4)
+    hw = predicted_connection_bytes("hardware", 4, cfg.mpi, cfg.ib)
+    st = predicted_connection_bytes("static", 4, cfg.mpi, cfg.ib)
+    assert st - hw == scheme_headroom("static") * cfg.mpi.vbuf_bytes
+
+
+# ----------------------------------------------------------------------
+# ECM-threshold invariance: credit-return batching is traffic policy,
+# not a buffer budget
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", ("static", "dynamic"))
+def test_ecm_threshold_never_changes_memory(scheme):
+    reports = []
+    for ecm in (1, 5, 16):
+        r = run_job(light_ring, 4, make_scheme(scheme, ecm_threshold=ecm),
+                    prepost=4, config=TestbedConfig(nodes=4), finalize=False)
+        reports.append(r.memory.to_dict())
+    assert reports[0] == reports[1] == reports[2]
+
+
+def test_hardware_memory_matches_user_level_minus_headroom():
+    """The hardware scheme has no ECM knob at all; its footprint equals
+    the static scheme's minus the optimistic headroom."""
+    cfg = TestbedConfig(nodes=4)
+    hw = run_job(light_ring, 4, "hardware", prepost=4, config=cfg,
+                 finalize=False).memory
+    st = run_job(light_ring, 4, "static", prepost=4, config=cfg,
+                 finalize=False).memory
+    gap = st.vbuf_pinned_bytes - hw.vbuf_pinned_bytes
+    assert gap == 12 * scheme_headroom("static") * cfg.mpi.vbuf_bytes
+    assert hw.qp_bytes == st.qp_bytes
+
+
+# ----------------------------------------------------------------------
+# the scalability headline: on-demand < mesh on a ring graph
+# ----------------------------------------------------------------------
+def test_on_demand_ring_pins_less_than_mesh():
+    prepost = 4
+    cfg = TestbedConfig(nodes=8)
+
+    mesh = run_job(light_ring, 8, "dynamic", prepost=prepost, config=cfg,
+                   finalize=False).memory
+    lazy = run_job(light_ring, 8, "dynamic", prepost=prepost, config=cfg,
+                   on_demand=True, finalize=False).memory
+
+    assert mesh.connections == 8 * 7
+    assert lazy.connections == 16  # ring: 8 pairs, both directions
+    assert lazy.vbuf_pinned_bytes < mesh.vbuf_pinned_bytes / 3
+    # the simulated mesh agrees with the closed-form model the scaling
+    # table uses for rungs too big to simulate
+    assert mesh.vbuf_pinned_bytes == mesh_pinned_bytes(
+        8, "dynamic", prepost, cfg.mpi)
+
+
+def test_mesh_model_is_quadratic():
+    m64 = mesh_pinned_bytes(64, "dynamic", 1, TestbedConfig().mpi)
+    m1024 = mesh_pinned_bytes(1024, "dynamic", 1, TestbedConfig().mpi)
+    assert m1024 / m64 == (1024 * 1023) / (64 * 63)

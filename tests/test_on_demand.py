@@ -4,7 +4,10 @@ combination: dynamic flow control + lazy connection setup)."""
 import pytest
 
 from repro.cluster import Cluster, TestbedConfig, run_job
-from repro.core import DynamicScheme
+from repro.core import DynamicScheme, make_scheme
+from repro.faults import FaultPlan
+from repro.recovery import RecoveryPolicy
+from repro.sim.units import us
 
 
 def ring_program(mpi):
@@ -102,6 +105,114 @@ def test_on_demand_with_dynamic_scheme_and_collectives():
     # recursive doubling + dissemination barrier touch fewer pairs than
     # the full mesh of 28
     assert r.connections_established < 28
+
+
+def test_on_demand_auto_threshold():
+    """Above ``TestbedConfig.on_demand_threshold`` ranks, jobs go
+    on-demand by default; below it they wire the full mesh; an explicit
+    flag always wins."""
+    cfg = TestbedConfig(nodes=8, on_demand_threshold=8)
+    r = run_job(ring_program, 8, "static", prepost=10, config=cfg,
+                finalize=False)
+    assert r.connections_established == 8  # auto: 8 >= threshold
+    below = run_job(ring_program, 8, "static", prepost=10,
+                    config=TestbedConfig(nodes=8, on_demand_threshold=9),
+                    finalize=False)
+    assert below.connections_established is None  # auto: mesh
+    forced = run_job(ring_program, 8, "static", prepost=10, config=cfg,
+                     on_demand=False, finalize=False)
+    assert forced.connections_established is None  # explicit beats auto
+
+
+def _pair_program(tag):
+    """Ranks 0 and 1 ping-pong one tagged message; others just compute.
+    The pong leg keeps rank 0 polling its CQ (a lone buffered-eager send
+    returns before any error completion lands), and distinct tags per run
+    keep reused-cluster runs from cross-matching."""
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(1, size=4, tag=tag, payload=tag)
+            st = yield from mpi.recv(source=1, capacity=64, tag=tag)
+            assert st.payload == tag
+            return "pong"
+        if mpi.rank == 1:
+            st = yield from mpi.recv(source=0, capacity=64, tag=tag)
+            assert st.payload == tag
+            yield from mpi.send(0, size=4, tag=tag, payload=tag)
+            return "ping"
+        yield from mpi.compute(100)
+        return None
+
+    return prog
+
+
+def test_recovery_teardown_then_reestablish_on_demand():
+    """Regression (on-demand x recovery): the CM used to memoize the
+    fired setup signal forever, so after recovery gave a pair up for dead
+    the next send got a fired signal for a connection that no longer
+    existed and hung.  Now ``RecoveryManager._fail`` tears the pair down
+    through the CM and a later send re-runs the whole handshake."""
+    cluster = Cluster(TestbedConfig(nodes=4))
+    cluster.launch(4, make_scheme("static"), prepost=4, on_demand=True)
+    cm = cluster.cm
+    assert cm is not None
+
+    # 1. healthy: first communication wires the pair lazily
+    r1 = run_job(_pair_program(0), 4, "static", prepost=4, cluster=cluster,
+                 finalize=False)
+    assert r1.completed and cm.established == 1
+    assert 1 in cluster.endpoints[0].connections
+
+    # 2. permanent link loss at rank 1: the transport retry budget and
+    #    then the recovery budget exhaust, and the manager dismantles the
+    #    pair via the CM instead of leaving a zombie connection behind
+    plan = (FaultPlan(seed=3, transport_timeout_ns=us(40),
+                      transport_retry_limit=2)
+            .link_flap(lid=1, at_ns=cluster.sim.now + 1,
+                       duration_ns=10**12))
+    policy = RecoveryPolicy(max_attempts=1, base_delay_ns=us(20),
+                            max_delay_ns=us(100), jitter_ns=us(5))
+    r2 = run_job(_pair_program(1), 4, "static", prepost=4, cluster=cluster,
+                 finalize=False, faults=plan, recovery=policy)
+    assert not r2.completed
+    assert r2.failures[0].attempts == policy.max_attempts
+    assert cm.torn_down == 1
+    assert 1 not in cluster.endpoints[0].connections
+    assert 0 not in cluster.endpoints[1].connections
+    assert (0, 1) not in cm._pending  # the fired memo went with it
+
+    # 3. the link is restored (run_job disarms the stale fault state on
+    #    the reused cluster); a fresh-tag exchange re-runs the CM
+    #    handshake end to end instead of trusting the dead memo
+    r3 = run_job(_pair_program(2), 4, "static", prepost=4, cluster=cluster,
+                 finalize=False)
+    assert r3.completed
+    assert r3.rank_results[:2] == ["pong", "ping"]
+    assert cm.established == 2
+    assert 1 in cluster.endpoints[0].connections
+
+
+def test_stale_fired_memo_self_heals_on_next_request():
+    """Belt-and-braces for teardown paths that bypass ``cm.teardown``:
+    a fired memo whose connections are gone is dropped and re-established
+    (a one-shot Signal cannot re-fire)."""
+    cluster = Cluster(TestbedConfig(nodes=2))
+    cluster.launch(2, make_scheme("static"), prepost=4, on_demand=True)
+    cm = cluster.cm
+    ep0 = cluster.endpoints[0]
+    sig = cm.request(ep0, 1)
+    cluster.sim.run(max_events=100_000)
+    assert sig.fired and cm.established == 1
+
+    cluster.endpoints[0].connections.pop(1)  # rude teardown, no cm call
+    cluster.endpoints[1].connections.pop(0)
+    sig2 = cm.request(ep0, 1)
+    assert sig2 is not sig  # not the stale fired memo
+    assert cm.invalidated == 1
+    cluster.sim.run(max_events=100_000)
+    assert sig2.fired and cm.established == 2
+    assert 1 in cluster.endpoints[0].connections
 
 
 def test_unused_peer_never_connected():

@@ -164,6 +164,7 @@ def _ring_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
         "elapsed_ns": r.elapsed_ns,
         "elapsed_us": r.elapsed_us,
         "pinned_bytes": mem.vbuf_pinned_bytes,
+        "ring_bytes": mem.ring_bytes,
         "qp_bytes": mem.qp_bytes,
         "total_bytes": mem.total_bytes,
         "per_rank_peak_bytes": mem.per_rank_peak_bytes,

@@ -15,6 +15,11 @@ from repro.campaign.spec import JobSpec
 
 SCHEMES = ("hardware", "static", "dynamic")
 
+#: the paper's three plus the beyond-the-paper RDMA-write ring-buffer
+#: eager scheme — the default axis for the sweeps that are ours rather
+#: than the paper's (scaling)
+EXTENDED_SCHEMES = SCHEMES + ("rdma-eager",)
+
 #: The bandwidth figures' window axis (Figures 3-8).
 BW_WINDOWS = (1, 2, 4, 8, 16, 32, 64, 100)
 
@@ -127,7 +132,7 @@ MESH_MAX_RANKS = 256
 
 def scaling_grid(
     ranks: Iterable[int] = RANK_LADDER,
-    schemes: Iterable[str] = SCHEMES,
+    schemes: Iterable[str] = EXTENDED_SCHEMES,
     modes: Iterable[str] = ("mesh", "on-demand"),
     prepost: int = 1,
     iterations: int = 3,
@@ -192,8 +197,8 @@ GRIDS: Dict[str, Grid] = {
     "incast": Grid("congestion scenarios x {pfc,ecn,both} x schemes "
                    "(27 cells)",
                    lambda **kw: incast_grid(**kw)),
-    "scaling": Grid("ranks 64-1024 x schemes x {mesh, on-demand} ring on "
-                    "fat-trees (15 cells)",
+    "scaling": Grid("ranks 64-1024 x all four schemes x {mesh, on-demand} "
+                    "ring on fat-trees (20 cells)",
                     lambda **kw: scaling_grid(**kw)),
 }
 

@@ -146,6 +146,13 @@ class Auditor:
         self._xoff_open: Dict[tuple, int] = defaultdict(int)
         self.xoff_total = 0
         self.xon_total = 0
+        # --- (g) RDMA ring-slot conservation, keyed by directed pair ---
+        #: slots deposited but not yet copied out (in-flight + free +
+        #: unreclaimed == ring size follows from the credit ledger; the
+        #: occupancy count bounds the deposited share directly)
+        self._ring_occupancy: Dict[tuple, int] = defaultdict(int)
+        #: highest sequence number freed per pair (FIFO reclamation)
+        self._ring_last_freed: Dict[tuple, int] = {}
         #: total hook invocations (observability; overhead accounting)
         self.hook_calls = 0
 
@@ -164,6 +171,7 @@ class Auditor:
             self._consumed_unsent, self._inflight_paid, self._ungranted,
             self._inflight_credits, self._pending_swallow, self._lease,
             self._shadow, self._sent_seq, self._matched_seq,
+            self._ring_occupancy, self._ring_last_freed,
         ):
             store.clear()
         self._dequeued.clear()
@@ -593,6 +601,54 @@ class Auditor:
             )
 
     # ------------------------------------------------------------------
+    # (g) RDMA ring-slot conservation (rdma-eager scheme / legacy
+    # use_rdma_channel mode; hooks fire from RDMAChannel.deposit and the
+    # endpoint's ring-arrival processing)
+    # ------------------------------------------------------------------
+    def on_ring_deposit(self, channel, header: "Header") -> None:
+        """An RDMA-written eager message became visible in a ring slot
+        (sender ``channel.peer`` → receiver ``channel.endpoint``).  Under
+        a credit scheme a slot token gates every write, so occupancy can
+        never exceed the ring size — more means an unreclaimed slot was
+        silently overwritten."""
+        self.hook_calls += 1
+        self._progress()
+        key = (channel.peer, channel.endpoint.rank)
+        self._ring_occupancy[key] += 1
+        if self._uses_credits and self._ring_occupancy[key] > channel.ring.slots:
+            self._violate(
+                "ring-slot-conservation",
+                f"{key[0]}->{key[1]}: {self._ring_occupancy[key]} slots "
+                f"occupied in a {channel.ring.slots}-slot ring (an "
+                "unreclaimed slot was overwritten)",
+                pair=key,
+            )
+
+    def on_ring_free(self, channel, header: "Header") -> None:
+        """The receiver copied ``header`` out of its slot.  Rings free in
+        order ([13]: messages drain by sequence number), so freed
+        sequence numbers must be strictly increasing per pair."""
+        self.hook_calls += 1
+        self._progress()
+        key = (channel.peer, channel.endpoint.rank)
+        self._ring_occupancy[key] -= 1
+        if self._ring_occupancy[key] < 0:
+            self._violate(
+                "ring-slot-conservation",
+                f"{key[0]}->{key[1]}: slot freed with none occupied",
+                pair=key,
+            )
+        last = self._ring_last_freed.get(key)
+        if last is not None and header.seq <= last:
+            self._violate(
+                "ring-slot-fifo",
+                f"{key[0]}->{key[1]}: slot for seq={header.seq} freed "
+                f"after seq={last} (FIFO reclamation broken)",
+                pair=key,
+            )
+        self._ring_last_freed[key] = header.seq
+
+    # ------------------------------------------------------------------
     # (e) progress watchdog
     # ------------------------------------------------------------------
     def _progress(self) -> None:
@@ -751,7 +807,20 @@ class Auditor:
                         pair=(ep.rank, conn.peer),
                     )
                 if conn.rdma_eager:
-                    continue  # ring slots, not WQEs, back the credits
+                    # Ring slots, not WQEs, back the credits — and at
+                    # quiescence every deposited slot must have been
+                    # reclaimed (copy-out frees in order, matching
+                    # completeness already forced every eager through).
+                    occ = self._ring_occupancy[(conn.peer, ep.rank)]
+                    if occ:
+                        self._violate(
+                            "ring-slot-leak",
+                            f"rank {ep.rank}: {occ} ring slot(s) from "
+                            f"{conn.peer} deposited but never reclaimed "
+                            "at quiescence",
+                            pair=(conn.peer, ep.rank),
+                        )
+                    continue
                 accounted = (conn.qp.posted_recvs
                              + unpolled.get(conn.qp.qp_num, 0))
                 if conn.recv_posted != accounted:

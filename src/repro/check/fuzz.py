@@ -37,6 +37,11 @@ SPEC_VERSION = 1
 #: evaluation order — every workload runs under all three
 DEFAULT_SCHEMES = ("hardware", "static", "dynamic")
 
+#: the three plus the RDMA-write ring-buffer eager scheme — the
+#: differential claim extends to it: ring-slot accounting must be
+#: delivery-equivalent to credit accounting under every fault scenario
+EXTENDED_SCHEMES = DEFAULT_SCHEMES + ("rdma-eager",)
+
 #: fault scenarios the fuzzer cycles through (None = healthy fabric).
 #: ``link-down`` runs with the connection recovery subsystem installed: a
 #: link outage outlives a finite transport retry budget, the QP pairs go

@@ -125,7 +125,7 @@ class Cluster:
                 if a.rank != b.rank:
                     conn = Connection(a, b.rank, qps[(a.rank, b.rank)])
                     a.add_connection(b.rank, conn)
-        if self.config.mpi.use_rdma_channel:
+        if self.endpoints and self.endpoints[0]._ring_mode:
             for a in self.endpoints:
                 for b in self.endpoints:
                     if a.rank < b.rank:

@@ -100,7 +100,7 @@ class ConnectionManager:
             qp_ba.connect(a.hca.lid, qp_ab.qp_num)
             a.add_connection(b.rank, Connection(a, b.rank, qp_ab))
             b.add_connection(a.rank, Connection(b, a.rank, qp_ba))
-            if a.config.use_rdma_channel:
+            if a._ring_mode:
                 from repro.mpi.endpoint import Endpoint
 
                 Endpoint.wire_rdma_rings(

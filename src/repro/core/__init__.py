@@ -26,6 +26,7 @@ from repro.core.memory import (
     mesh_pinned_bytes,
     predicted_connection_bytes,
 )
+from repro.core.rdma_eager import DEFAULT_RECLAIM_WATERMARK, RdmaEagerScheme
 from repro.core.static import DEFAULT_ECM_THRESHOLD, StaticScheme
 from repro.core.stats import (
     CongestionReport,
@@ -38,33 +39,49 @@ from repro.core.stats import (
 #: The canonical evaluation order used by every figure in the paper.
 ALL_SCHEMES = (SchemeName.HARDWARE, SchemeName.STATIC, SchemeName.DYNAMIC)
 
+#: The paper's three plus the RDMA-write ring eager design — the order
+#: used by the harnesses that compare all registered schemes.
+EXTENDED_SCHEMES = ALL_SCHEMES + (SchemeName.RDMA_EAGER,)
+
+_SCHEME_CLASSES = {
+    SchemeName.HARDWARE.value: HardwareScheme,
+    SchemeName.STATIC.value: StaticScheme,
+    SchemeName.DYNAMIC.value: DynamicScheme,
+    SchemeName.RDMA_EAGER.value: RdmaEagerScheme,
+}
+
 
 def make_scheme(name: Union[str, SchemeName], **kwargs) -> FlowControlScheme:
-    """Build a scheme by name (``"hardware"``, ``"static"``, ``"dynamic"``).
+    """Build a scheme by name (``"hardware"``, ``"static"``, ``"dynamic"``,
+    ``"rdma-eager"``).
 
     Keyword arguments are forwarded to the scheme constructor (e.g.
-    ``ecm_threshold=5``, ``growth_step=2``, ``exponential=True``).
+    ``ecm_threshold=5``, ``growth_step=2``, ``reclaim_watermark=2``).
     """
     if isinstance(name, SchemeName):
         name = name.value
-    if name == SchemeName.HARDWARE.value:
-        return HardwareScheme(**kwargs)
-    if name == SchemeName.STATIC.value:
-        return StaticScheme(**kwargs)
-    if name == SchemeName.DYNAMIC.value:
-        return DynamicScheme(**kwargs)
-    raise ValueError(f"unknown flow control scheme {name!r}")
+    try:
+        cls = _SCHEME_CLASSES[name]
+    except KeyError:
+        valid = ", ".join(sorted(_SCHEME_CLASSES))
+        raise ValueError(
+            f"unknown flow control scheme {name!r} (valid schemes: {valid})"
+        ) from None
+    return cls(**kwargs)
 
 
 __all__ = [
     "ALL_SCHEMES",
     "DEFAULT_ECM_THRESHOLD",
+    "DEFAULT_RECLAIM_WATERMARK",
+    "EXTENDED_SCHEMES",
     "CongestionReport",
     "DynamicScheme",
     "FlowControlReport",
     "FlowControlScheme",
     "HardwareScheme",
     "MemoryReport",
+    "RdmaEagerScheme",
     "SchemeName",
     "StaticScheme",
     "collect_congestion_report",

@@ -27,11 +27,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class SchemeName(enum.Enum):
-    """The paper's three schemes."""
+    """The paper's three schemes, plus the RDMA-write ring eager design
+    from the MPICH2-over-InfiniBand sequel (Liu et al.)."""
 
     HARDWARE = "hardware"
     STATIC = "static"
     DYNAMIC = "dynamic"
+    RDMA_EAGER = "rdma-eager"
 
 
 class FlowControlScheme:
@@ -43,6 +45,13 @@ class FlowControlScheme:
     #: all — outgoing messages are posted immediately and the InfiniBand
     #: end-to-end flow control (RNR NAK + retry) copes with overruns.
     uses_credits: bool = True
+
+    #: True when eager messages travel by RDMA write into a per-connection
+    #: ring of pre-agreed slots (polling detection) instead of SEND into a
+    #: receive WQE.  Connection setup then allocates the ring pair at
+    #: connect time and the progress engine arms the ring-dirty wakeup
+    #: alongside the CQ wait.
+    uses_ring: bool = False
 
     #: May a credit-starved sender push the head of its backlog through the
     #: rendezvous protocol without a credit?  (paper §4.2: "when there are

@@ -153,20 +153,32 @@ def scheme_headroom(scheme_name: str) -> int:
     return make_scheme(scheme_name).optimistic_headroom
 
 
+def _pinned_per_connection(scheme_name: str, prepost: int, mpi: Any) -> int:
+    """Closed-form pinned bytes one connection keeps registered under a
+    scheme.  Ring schemes pin the fixed control-vbuf reserve plus both
+    ring halves — the rank's own receive ring and its slot share of the
+    peer's — mirroring the measured per-connection split; everything else
+    pins the pre-posted vbufs plus the scheme's optimistic headroom."""
+    from repro.core import make_scheme
+
+    scheme = make_scheme(scheme_name)
+    if scheme.uses_ring:
+        return (mpi.rdma_control_bufs + 2 * prepost) * mpi.vbuf_bytes
+    return (prepost + scheme.optimistic_headroom) * mpi.vbuf_bytes
+
+
 def predicted_connection_bytes(scheme_name: str, prepost: int,
                                mpi: Any, ib: Any) -> int:
     """Closed-form bytes one idle connection costs under a scheme: the
-    pre-posted vbufs (plus the scheme's optimistic headroom) and the QP
-    descriptor state.  The conservation tests pin the measured
-    per-connection sum to this."""
-    return ((prepost + scheme_headroom(scheme_name)) * mpi.vbuf_bytes
-            + qp_state_bytes(ib))
+    pinned buffer population (vbufs, or control reserve + ring slots for
+    ring schemes) and the QP descriptor state.  The conservation tests
+    pin the measured per-connection sum to this."""
+    return _pinned_per_connection(scheme_name, prepost, mpi) + qp_state_bytes(ib)
 
 
 def mesh_pinned_bytes(nranks: int, scheme_name: str, prepost: int,
                       mpi: Any) -> int:
-    """Closed-form pinned recv-vbuf bytes of a full P x (P-1) mesh — the
+    """Closed-form pinned buffer bytes of a full P x (P-1) mesh — the
     analytic stand-in for mesh cells too big to simulate (a 1,024-rank
     mesh is ~1M live connections)."""
-    per_conn = (prepost + scheme_headroom(scheme_name)) * mpi.vbuf_bytes
-    return nranks * (nranks - 1) * per_conn
+    return nranks * (nranks - 1) * _pinned_per_connection(scheme_name, prepost, mpi)

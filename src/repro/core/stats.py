@@ -32,17 +32,29 @@ class FlowControlReport:
     ecm_credits: int
     rnr_naks: int
     retransmissions: int
+    #: handshake control plane (RTS/CTS/FIN/RING_RESIZE) — tagged apart
+    #: from data so the Figure-8 overhead split is honest about what is
+    #: payload and what is protocol
+    control_msgs: int = 0
+    #: backlogged sends that were control-plane (credit-starved RTSs)
+    control_backlogged: int = 0
 
     @property
     def ecm_fraction(self) -> float:
         """ECMs as a share of all messages (the paper's 18 % LU headline)."""
         return self.ecm_msgs / self.total_msgs if self.total_msgs else 0.0
 
+    @property
+    def control_fraction(self) -> float:
+        """Handshake control messages as a share of all messages."""
+        return self.control_msgs / self.total_msgs if self.total_msgs else 0.0
+
 
 def collect_report(endpoints: Iterable["Endpoint"]) -> FlowControlReport:
     """Aggregate every endpoint's connections into one report."""
     total = data = ecm = backlogged = fallbacks = 0
     piggy = ecmc = naks = retrans = 0
+    ctl = ctl_backlogged = 0
     max_posted = backlog_max = 0
     conn_count = 0
     for ep in endpoints:
@@ -51,8 +63,10 @@ def collect_report(endpoints: Iterable["Endpoint"]) -> FlowControlReport:
             conn_count += 1
             total += s.msgs_sent
             data += s.data_msgs_sent
+            ctl += s.ctl_msgs_sent
             ecm += s.ecm_sent
             backlogged += s.backlogged
+            ctl_backlogged += s.ctl_backlogged
             fallbacks += s.rndv_fallbacks
             piggy += s.piggybacked_credits
             ecmc += s.ecm_credits
@@ -76,6 +90,8 @@ def collect_report(endpoints: Iterable["Endpoint"]) -> FlowControlReport:
         ecm_credits=ecmc,
         rnr_naks=naks,
         retransmissions=retrans,
+        control_msgs=ctl,
+        control_backlogged=ctl_backlogged,
     )
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Deque, Optional
+from typing import TYPE_CHECKING, Any, Deque, List, Optional
 
 from repro.ib.qp import QueuePair
 from repro.ib.types import QPState
@@ -46,8 +46,10 @@ class ConnStats:
 
     msgs_sent: int = 0  # every MPI-level message incl. control
     data_msgs_sent: int = 0  # eager payloads + rendezvous transfers
+    ctl_msgs_sent: int = 0  # handshake control plane: RTS/CTS/FIN/RESIZE
     ecm_sent: int = 0  # explicit credit messages (Table 1)
     backlogged: int = 0  # sends that went through the backlog
+    ctl_backlogged: int = 0  # of which control-plane (backlogged RTSs)
     backlog_max: int = 0  # high-water backlog depth (robustness metric)
     rndv_fallbacks: int = 0  # small sends converted to rendezvous
     max_prepost: int = 0  # high-water prepost_target (Table 2)
@@ -85,6 +87,10 @@ class Connection:
         self.recv_posted = 0
         self.pending_credit_return = 0
         self.seq_in_expected = 0
+        #: CQ headers that overtook an in-flight ring write (the two
+        #: channels share one sequence space but not one wire); parked in
+        #: seq order until the ring drain closes the gap
+        self.cq_stash: List[Header] = []
 
         # --- recovery (inert unless a RecoveryManager is installed) ---
         #: True while the underlying QP pair is being re-established; new

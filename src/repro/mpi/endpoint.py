@@ -79,6 +79,11 @@ class Endpoint:
         self.scheme = scheme
         self.requested_prepost = requested_prepost
         self.tracer = tracer or Tracer(enabled=False)
+        #: eager traffic travels by RDMA-write ring — either the legacy
+        #: config switch or a scheme that owns a ring (rdma-eager).  The
+        #: flag gates ring allocation at connect time and the ring-dirty
+        #: arm of the progress waits.
+        self._ring_mode = config.use_rdma_channel or scheme.uses_ring
 
         self.cq = hca.create_cq(f"mpi.cq.{rank}")
         self.pool = SendBufferPool(sim, config.send_pool_buffers, config.vbuf_bytes)
@@ -131,7 +136,7 @@ class Endpoint:
     # ------------------------------------------------------------------
     def add_connection(self, peer: int, conn: Connection) -> None:
         self.connections[peer] = conn
-        if self.config.use_rdma_channel:
+        if self._ring_mode:
             from repro.mpi.rdma_channel import RDMAChannel
 
             conn.rdma_eager = True
@@ -408,7 +413,7 @@ class Endpoint:
             if request.done:
                 break
             if not cq._entries and not self._ring_ready():
-                if self.config.use_rdma_channel:
+                if self._ring_mode:
                     yield AnyOf([cq.wait_nonempty(), self._ring_wait()])
                 else:
                     yield cq.wait_nonempty()
@@ -576,7 +581,7 @@ class Endpoint:
             if pred():
                 return
             if not self.cq._entries and not self._ring_ready():
-                if self.config.use_rdma_channel:
+                if self._ring_mode:
                     yield AnyOf([self.cq.wait_nonempty(), self._ring_wait()])
                 else:
                     yield self.cq.wait_nonempty()
@@ -641,6 +646,9 @@ class Endpoint:
                             break
                         progressed = True
                         cost = self._handle_ring_eager(conn, h)
+                        if conn.cq_stash:
+                            # ring progress may unpark overtaking CQ headers
+                            cost += self._drain_cq_stash(conn)
                         if cost:
                             yield Timeout(cost)
             if not progressed:
@@ -714,13 +722,38 @@ class Endpoint:
         h: Header = wc.data
         conn = self.connections[h.src]
         conn.recv_posted -= 1
-        cost = self.config.header_proc_ns
 
         if h.seq != conn.seq_in_expected:
+            if conn.rx_channel is not None and h.seq > conn.seq_in_expected:
+                # Cross-channel skew: the CQ (send/recv) channel and the
+                # RDMA ring share one per-connection sequence space but
+                # not one wire, so a control message can overtake an
+                # eager write still in flight toward the ring.  Park the
+                # header; the ring drain re-dispatches it the moment the
+                # gap closes.  The QP itself is FIFO, so appends keep the
+                # stash in sequence order.
+                conn.cq_stash.append(h)
+                return self.config.header_proc_ns
             raise MPIError(
                 f"rank {self.rank}: out-of-order delivery from {h.src}: "
                 f"seq {h.seq} != expected {conn.seq_in_expected}"
             )
+        cost = self._deliver_cq(conn, h)
+        if conn.cq_stash:
+            cost += self._drain_cq_stash(conn)
+        return cost
+
+    def _drain_cq_stash(self, conn: Connection) -> int:
+        """Deliver parked CQ headers made in-sequence by ring progress."""
+        cost = 0
+        while conn.cq_stash and conn.cq_stash[0].seq == conn.seq_in_expected:
+            cost += self._deliver_cq(conn, conn.cq_stash.pop(0))
+        return cost
+
+    def _deliver_cq(self, conn: Connection, h: Header) -> int:
+        """The in-sequence body of :meth:`_handle_recv` (the vbuf's
+        ``recv_posted`` decrement already happened at poll time)."""
+        cost = self.config.header_proc_ns
         conn.seq_in_expected += 1
 
         if h.credits:
@@ -812,6 +845,25 @@ class Endpoint:
             self.tracer.count("faults.stall_deferred", conn.peer)
             return self._drain(conn) if conn.backlog else 0
         cost = 0
+        if conn.rdma_eager:
+            # Ring mode: the WQE population is the fixed control reserve,
+            # disjoint from the credit population (ring slots).  A paid
+            # credit here rode a control-channel message (a rendezvous
+            # RTS borrowing a slot token) and always returns — the ring
+            # never decay-contracts, so there is no swallow case, and the
+            # slot-count cap must not be compared against WQE counts.
+            if conn.recv_posted < self.config.rdma_control_bufs:
+                self._post_recv_vbuf(conn)
+                cost += self.config.post_overhead_ns
+            if paid:
+                conn.pending_credit_return += 1
+                if self._audit is not None:
+                    self._audit.on_grant(conn, 1)
+                if self.scheme.should_send_ecm(conn):
+                    cost += self._emit_ecm(conn)
+            if conn.backlog:
+                cost += self._drain(conn)
+            return cost
         cap = conn.prepost_target + conn.headroom
         reposted = False
         if conn.recv_posted < cap:
@@ -961,6 +1013,11 @@ class Endpoint:
             conn.stats.ecm_credits += header.credits
         else:
             conn.stats.piggybacked_credits += piggy
+            if not eager:
+                # Control-plane send (RTS/CTS/FIN/RING_RESIZE): counted
+                # apart from data so the Figure-8 control-overhead split
+                # doesn't attribute handshake traffic to data messages.
+                conn.stats.ctl_msgs_sent += 1
         if self._audit is not None:
             self._audit.on_emit(conn, header, ctx_kind)
         return cost
@@ -1010,10 +1067,40 @@ class Endpoint:
         )
         return self.config.post_overhead_ns
 
+    def _replay_ring(self, conn: Connection, header: Header) -> int:
+        """Re-write a flushed ring eager message after QP re-establishment
+        (recovery manager only).  The receiver's ring was re-established
+        empty at slot 0, so replays land in the fresh ring in their
+        original order; like :meth:`_replay_emit` the header keeps its
+        original sequence number, carries no credits, and never
+        re-completes the request."""
+        header.credits = 0
+        ctx_id = next(self._ctx_ids)
+        self._send_ctx[ctx_id] = ("ring", conn, None, header)
+        conn.qp.post_send(
+            SendWR(
+                wr_id=ctx_id,
+                opcode=Opcode.RDMA_WRITE,
+                length=self.config.header_bytes + header.size,
+                payload=header,
+                remote_addr=conn.next_ring_addr(),
+                rkey=conn.tx_ring_rkey,
+            )
+        )
+        if self._audit is not None:
+            self._audit.on_emit(conn, header, "ring", replay=True)
+        return self.config.post_overhead_ns + self.config.copy_ns(header.size)
+
     def _emit_ring(self, conn: Connection, header: Header, req) -> int:
         """Write an eager message into the peer's RDMA ring (no vbuf, no
         remote WQE).  Buffered-send semantics: the request completes at
         emission."""
+        if conn.recovering:
+            # Same parking rule as _emit: no slot, no sequence number; the
+            # recovery manager re-emits deferred ring writes FIFO after
+            # the un-acked replays once the fresh ring is wired.
+            conn.deferred.append((header, "ring", req, False))
+            return 0
         piggy = conn.take_piggyback_credits()
         header.credits += piggy
         header.seq = conn.next_seq()
@@ -1067,6 +1154,10 @@ class Endpoint:
                 "with no matching receive posted"
             )
 
+        # The slot itself is free the moment the copy-out lands (even when
+        # a fault stall withholds the *credit* below).
+        self._free_ring_slot(conn, h)
+
         # slot freed -> credit grant (withheld while a fault stall is on)
         if self._stall_until > self.sim.now:
             self._stall_held[conn.peer] = self._stall_held.get(conn.peer, 0) + 1
@@ -1102,6 +1193,13 @@ class Endpoint:
             cost += self._drain(conn)
         return cost
 
+    def _free_ring_slot(self, conn: Connection, h: Header) -> None:
+        """Reclaim ``h``'s ring slot after its copy-out.  Distinct from
+        the credit *grant*: a fault stall withholds the grant but never
+        the slot (the bytes have left the ring either way)."""
+        if self._audit is not None:
+            self._audit.on_ring_free(conn.rx_channel, h)
+
     def _emit_ecm(self, conn: Connection) -> int:
         """Explicit credit message — optimistic, never flow-controlled
         (the paper's deadlock-avoidance scheme)."""
@@ -1128,6 +1226,8 @@ class Endpoint:
         if self._audit is not None:
             self._audit.on_backlog_enqueue(conn, pending.header)
         conn.stats.backlogged += 1
+        if pending.header.kind is not MsgKind.EAGER:
+            conn.stats.ctl_backlogged += 1
         depth = len(conn.backlog)
         if depth > conn.stats.backlog_max:
             conn.stats.backlog_max = depth

@@ -36,6 +36,65 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.endpoint import Endpoint
     from repro.mpi.protocol import Header
 
+# ----------------------------------------------------------------------
+# Slot wire layout (the Liu design's two-flag scheme)
+#
+# | head flag (1B) | payload size (4B LE) | payload | tail flag (1B) |
+#
+# The head flag plus the size-prefix-addressed tail flag make arrival
+# detection total: the poller reads the head flag, computes where the
+# tail flag must sit from the size prefix, and declares the message
+# visible only when both flags are set.  The layout this replaces polled
+# the payload's *last byte* — undefined for a zero-length eager message
+# and indistinguishable from "not yet written" when the payload happens
+# to end in NUL.
+# ----------------------------------------------------------------------
+SLOT_HEAD_FLAG = 0xAA
+SLOT_TAIL_FLAG = 0x55
+_SIZE_PREFIX_BYTES = 4
+SLOT_OVERHEAD_BYTES = 1 + _SIZE_PREFIX_BYTES + 1
+
+
+def _payload_bytes(header: "Header") -> bytes:
+    """The on-wire payload image: real bytes when the program attached
+    any, otherwise ``size`` zero bytes — the maximally adversarial case
+    for tail-byte polling."""
+    payload = header.payload
+    if isinstance(payload, (bytes, bytearray)):
+        return bytes(payload)
+    return b"\x00" * header.size
+
+
+def encode_slot(header: "Header") -> bytes:
+    """Render the slot image an RDMA write deposits for ``header``."""
+    body = _payload_bytes(header)
+    return (
+        bytes((SLOT_HEAD_FLAG,))
+        + len(body).to_bytes(_SIZE_PREFIX_BYTES, "little")
+        + body
+        + bytes((SLOT_TAIL_FLAG,))
+    )
+
+
+def slot_message_ready(slot: bytes) -> bool:
+    """Two-flag arrival detection: head flag set and the tail flag (at
+    the offset the size prefix dictates) set.  Total over every payload,
+    including empty and NUL-terminated ones."""
+    if len(slot) < SLOT_OVERHEAD_BYTES or slot[0] != SLOT_HEAD_FLAG:
+        return False
+    size = int.from_bytes(slot[1 : 1 + _SIZE_PREFIX_BYTES], "little")
+    tail = 1 + _SIZE_PREFIX_BYTES + size
+    return len(slot) > tail and slot[tail] == SLOT_TAIL_FLAG
+
+
+def tail_byte_poll(payload: bytes) -> bool:
+    """The legacy detection the two-flag layout replaces: spin on the
+    payload's trailing byte becoming non-zero.  Kept only so the
+    regression test can demonstrate the miss — a zero-length message has
+    no trailing byte and a payload ending in ``\\x00`` never reads as
+    arrived."""
+    return bool(payload) and payload[-1] != 0
+
 
 class RingBuffer:
     """One generation of a connection's receive ring."""
@@ -75,6 +134,9 @@ class RDMAChannel:
         # observability
         self.messages = 0
         self.resizes = 0
+        self.reestablishments = 0
+        #: arrivals the replaced tail-byte poll would never have seen
+        self.tail_poll_misses = 0
 
     def _allocate(self, slots: int) -> RingBuffer:
         mr = self.endpoint.hca.reg_mr(max(1, slots) * self.slot_bytes)
@@ -88,8 +150,18 @@ class RDMAChannel:
     def deposit(self, header: "Header") -> None:
         """An RDMA-written eager message became visible in some slot (the
         simulator routes it here from the MR landing)."""
+        # Detect the arrival through the two-flag slot image; record when
+        # the replaced tail-byte poll would have spun forever instead.
+        slot = encode_slot(header)
+        if not slot_message_ready(slot):  # pragma: no cover - layout is total
+            raise RuntimeError(f"ring slot arrival not detectable: {header!r}")
+        if not tail_byte_poll(_payload_bytes(header)):
+            self.tail_poll_misses += 1
         heapq.heappush(self._arrived, (header.seq, header))
         self.messages += 1
+        aud = self.endpoint._audit
+        if aud is not None:
+            aud.on_ring_deposit(self, header)
         self.endpoint._ring_dirty.add(self.peer)
         self.endpoint._ring_signal_fire()
 
@@ -128,6 +200,17 @@ class RDMAChannel:
         message."""
         self.ring = self._allocate(new_slots)
         self.resizes += 1
+        return self.ring
+
+    def reestablish(self) -> RingBuffer:
+        """Recovery: allocate a fresh ring generation after the QP
+        incarnation backing the old one died.  The transport's epoch
+        guard already drops in-flight writes from the dead era, so the
+        new ring starts empty at slot 0; arrivals already captured in
+        :attr:`_arrived` stay queued — they were delivered and will be
+        processed (and their slots reported reclaimed) after resync."""
+        self.ring = self._allocate(self.ring.slots)
+        self.reestablishments += 1
         return self.ring
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -122,12 +122,6 @@ class RecoveryManager:
         if rec is None:
             rec = self._begin(pair, ep, conn, wc)  # may raise (budget)
         if ctx is not None:
-            if ctx[0] == "ring":
-                # RDMA-ring eager channel: slots are raw memory, not WQEs —
-                # replay cannot be reconciled with the ring cursor, so the
-                # loss is surfaced instead of silently corrupting the ring.
-                self._fail(pair, ep.rank, conn.peer, ep, conn,
-                           "rdma-ring-unsupported", rec.attempt)
             rec.replays[ep.rank].append(ctx)
         return 0
 
@@ -213,6 +207,13 @@ class RecoveryManager:
         #    the Connection, so the refill tops up to the grown target)
         conn_ab.refill_recv_buffers()
         conn_ba.refill_recv_buffers()
+        # 4b. RDMA-ring mode: epoch-fenced ring re-establishment — the old
+        #     ring's cursor state died with the QP incarnation (the epoch
+        #     guard drops any write still in flight to it), so each side
+        #     allocates a fresh ring and re-advertises its coordinates;
+        #     replays then land from slot 0 in their original order.
+        if conn_ab.rdma_eager:
+            self._reestablish_rings(conn_ab, conn_ba)
         # 5. per-direction credit resynchronization + replay planning
         plan_ab = self._resync(ep_a, conn_ab, ep_b, conn_ba, rec)
         plan_ba = self._resync(ep_b, conn_ba, ep_a, conn_ab, rec)
@@ -229,6 +230,20 @@ class RecoveryManager:
         if dt > self.reconnect_ns_max:
             self.reconnect_ns_max = dt
         ep_a.tracer.count("recovery.rearm", f"{a}-{b}")
+
+    @staticmethod
+    def _reestablish_rings(conn_ab: "Connection", conn_ba: "Connection") -> None:
+        """Allocate next-generation rings on both receivers and rewire the
+        senders' (addr, rkey, slots, cursor) advertisements — the recovery
+        analogue of :meth:`Endpoint.wire_rdma_rings` at connect time."""
+        for tx, rx in ((conn_ab, conn_ba), (conn_ba, conn_ab)):
+            ch = rx.rx_channel
+            ring = ch.reestablish()
+            ring.mr.on_write = lambda addr, payload, c=ch: c.deposit(payload)
+            tx.tx_ring_addr = ring.mr.addr
+            tx.tx_ring_rkey = ring.mr.rkey
+            tx.tx_ring_slots = ring.slots
+            tx.tx_ring_next = 0
 
     def _drain_error_wcs(self, ep: "Endpoint", conn: "Connection", rec) -> None:
         """Remove this QP's un-polled error completions from the owner's
@@ -264,18 +279,34 @@ class RecoveryManager:
                 headers.append((ctx_kind, ref, header))
         # Delivered-but-unpolled arrivals at r: they advance the replay
         # horizon (the receiver will still poll them) and pin paid tokens.
-        unpolled = 0
-        parked_paid = 0
+        # With two channels (CQ + RDMA ring) sharing one sequence space
+        # the received set can have gaps — a control message parked in
+        # ``cq_stash`` behind a ring write that was lost in flight — so
+        # the horizon is the *contiguous* received prefix, and anything
+        # received beyond a gap is pruned by membership instead.
+        received = {}
         qpn_rs = conn_rs.qp.qp_num
         for wc in ep_r.cq._entries:
             if wc.is_recv and wc.ok and wc.qp_num == qpn_rs:
-                unpolled += 1
-                if wc.data.paid:
-                    parked_paid += 1
-        b_next = conn_rs.seq_in_expected + unpolled
+                received[wc.data.seq] = wc.data
+        ch_rs = conn_rs.rx_channel
+        if ch_rs is not None:
+            # Ring arrivals captured in slot memory but not yet processed:
+            # they advance the horizon and pin paid tokens exactly like
+            # unpolled CQ deliveries (one shared per-connection sequence
+            # space, delivered in order by the RC transport).
+            for _, h in ch_rs._arrived:
+                received[h.seq] = h
+        for h in conn_rs.cq_stash:
+            received[h.seq] = h
+        parked_paid = sum(1 for h in received.values() if h.paid)
+        b_next = conn_rs.seq_in_expected
+        while b_next in received:
+            b_next += 1
         # Prune the delivered-but-ack-lost prefix: the receiver consumed
         # those sequence numbers, replaying them would corrupt ordering.
-        live = [e for e in headers if e[2].seq >= b_next]
+        live = [e for e in headers
+                if e[2].seq >= b_next and e[2].seq not in received]
         live.sort(key=lambda e: e[2].seq)
         if ep_s.scheme.uses_credits:
             replayed_paid = sum(1 for e in live if e[2].paid)
@@ -318,14 +349,20 @@ class RecoveryManager:
         headers, rdmas = plan
         n = 0
         for ctx_kind, ref, header in headers:
-            ep._replay_emit(conn, header, ctx_kind, ref)
+            if ctx_kind == "ring":
+                ep._replay_ring(conn, header)
+            else:
+                ep._replay_emit(conn, header, ctx_kind, ref)
             n += 1
         for op in rdmas:
             ep._replay_rdma(conn, op)
             n += 1
         while conn.deferred:
             header, ctx_kind, ref, control = conn.deferred.popleft()
-            ep._emit(conn, header, ctx_kind, ref, control)
+            if ctx_kind == "ring":
+                ep._emit_ring(conn, header, ref)
+            else:
+                ep._emit(conn, header, ctx_kind, ref, control)
         if conn.backlog:
             ep._drain(conn)
         if n:

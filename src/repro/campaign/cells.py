@@ -121,6 +121,7 @@ def _chaos_cell(p: Mapping[str, Any]) -> Dict[str, Any]:
         p["scenario"], p["scheme"], seed=p["seed"], prepost=p["prepost"],
         recovery=p.get("recovery", False),
         congestion=p.get("congestion"),
+        ft=p.get("ft", False),
     )
 
 

@@ -81,6 +81,7 @@ def chaos_grid(
     prepost: Optional[int] = None,
     recovery: bool = False,
     congestion: Optional[str] = None,
+    ft: bool = False,
 ) -> List[JobSpec]:
     from repro.faults import SCENARIOS
 
@@ -99,6 +100,9 @@ def chaos_grid(
             if congestion is not None:
                 # likewise: only keyed when the subsystem is armed
                 params["congestion"] = congestion
+            if ft:
+                # likewise: pre-ft cache keys stay valid
+                params["ft"] = True
             specs.append(JobSpec("chaos", params))
     return specs
 
@@ -192,7 +196,7 @@ GRIDS: Dict[str, Grid] = {
     "nas": Grid("NAS kernels x schemes x pre-post {100,1}; Figures 9-10, "
                 "Tables 1-2 (42 cells)",
                 lambda **kw: nas_grid(**kw)),
-    "chaos": Grid("fault scenarios x schemes robustness sweep (24 cells)",
+    "chaos": Grid("fault scenarios x schemes robustness sweep (30 cells)",
                   lambda **kw: chaos_grid(**kw)),
     "incast": Grid("congestion scenarios x {pfc,ecn,both} x schemes "
                    "(27 cells)",

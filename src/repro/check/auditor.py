@@ -141,6 +141,9 @@ class Auditor:
         self._wd_armed = False
         self._last_progress_ns = 0
         self._fault_grace_until = 0
+        #: ranks declared dead by the failure detector: their frozen
+        #: credit/backlog state is exempt from every liveness check
+        self._dead: Set[int] = set()
         # --- (f) switch-congestion invariants (repro.congestion) ---
         self._congestion = None  # the fabric's CongestionState, when armed
         self._xoff_open: Dict[tuple, int] = defaultdict(int)
@@ -179,6 +182,7 @@ class Auditor:
         self._total_sent = self._total_matched = 0
         self._wd_armed = False
         self._last_progress_ns = cluster.sim.now
+        self._dead.clear()
         for ep in self._endpoints:
             ep._audit = self
         self._xoff_open.clear()
@@ -203,6 +207,12 @@ class Auditor:
         do; the recovery manager pushes the watchdog tolerance past them."""
         if until_ns + self.quiet_bound_ns > self._fault_grace_until:
             self._fault_grace_until = until_ns + self.quiet_bound_ns
+
+    def note_rank_dead(self, rank: int) -> None:
+        """The failure detector declared ``rank`` dead: its connections'
+        frozen state (unmatched sends, severed backlogs, flushed QPs) is
+        permanent and must not read as pending work or a stuck pair."""
+        self._dead.add(rank)
 
     # ------------------------------------------------------------------
     # recovery integration (repro.recovery)
@@ -258,6 +268,8 @@ class Auditor:
         """Audit the token pool governing ``s -> r`` paid traffic."""
         if (s, r) in self._suspended:
             return  # mid-recovery: resynced and re-checked at re-arm
+        if s in self._dead or r in self._dead:
+            return  # severed pair: tokens died with the rank
         conn_sr = self._endpoints[s].connections.get(r)
         conn_rs = self._endpoints[r].connections.get(s)
         if conn_sr is None or conn_rs is None:
@@ -655,16 +667,29 @@ class Auditor:
         self._last_progress_ns = self._sim.now
 
     def _work_pending(self) -> bool:
-        if self._total_sent > self._total_matched:
-            return True
+        dead = self._dead
+        if not dead:
+            if self._total_sent > self._total_matched:
+                return True
+        else:
+            # Messages to/from a dead rank legally never match; the cheap
+            # totals comparison would read them as pending work forever.
+            for key, sent in self._sent_seq.items():
+                if key[0] in dead or key[1] in dead:
+                    continue
+                if len(sent) > len(self._matched_seq.get(key, ())):
+                    return True
         for ep in self._endpoints:
-            if ep.finalized:
+            if ep.finalized or ep.rank in dead:
                 # post-finalize stray control arrivals legally park in
-                # posted vbufs / the CQ without this rank's attention
+                # posted vbufs / the CQ without this rank's attention;
+                # a dead rank's state is frozen, not pending
                 continue
             if ep._send_ctx or ep._rndv_send or ep._rndv_recv or len(ep.cq):
                 return True
-            for conn in ep.connections.values():
+            for peer, conn in ep.connections.items():
+                if peer in dead:
+                    continue  # severed: whatever is left never drains
                 if conn.backlog or conn.deferred or conn.qp.outstanding_sends:
                     return True
         return False
@@ -677,6 +702,12 @@ class Auditor:
         now = self._sim.now
         if now < self._fault_grace_until:
             self._last_progress_ns = now  # faults legitimately stall
+            return True
+        rec = self._endpoints[0]._recovery if self._endpoints else None
+        if rec is not None and rec._active:
+            # a connection-recovery backoff window is open: the stall is
+            # the policy's own schedule, not a deadlock — keep waiting
+            self._last_progress_ns = now
             return True
         if now - self._last_progress_ns > self.quiet_bound_ns:
             self._wd_armed = False
@@ -698,8 +729,13 @@ class Auditor:
         receive-population reconciliation additionally require the job to
         have finalized (``expect_quiescent``)."""
         self.check_all_pairs()
+        dead = self._dead
         for ep in self._endpoints:
+            if ep.rank in dead:
+                continue
             for conn in ep.connections.values():
+                if conn.peer in dead:
+                    continue  # severed pair: QPs deliberately in ERROR
                 problems = conn.qp.check_invariants()
                 if problems:
                     self._violate(
@@ -738,6 +774,8 @@ class Auditor:
                         f"{sorted(port.paused_by)} at quiescence",
                     )
         for key, sent in self._sent_seq.items():
+            if key[0] in dead or key[1] in dead:
+                continue  # traffic to/from a dead rank legally unmatched
             matched = self._matched_seq.get(key, [])
             if matched != sent:
                 self._violate(
@@ -769,6 +807,8 @@ class Auditor:
              "in-flight returning credits"),
         ):
             for key, n in store.items():
+                if key[0] in dead or key[1] in dead:
+                    continue  # in-flight state lost with the rank
                 if n and n != parked.get(key, 0):
                     self._violate(
                         "credit-conservation",
@@ -778,6 +818,8 @@ class Auditor:
                         pair=key,
                     )
         for ep in self._endpoints:
+            if ep.rank in dead:
+                continue  # frozen mid-flight: leases died with the rank
             pool = ep.pool
             if self._lease[ep.rank] != 0 or pool.free != pool.capacity:
                 self._violate(
@@ -799,6 +841,8 @@ class Auditor:
                 if wc.is_recv:
                     unpolled[wc.qp_num] = unpolled.get(wc.qp_num, 0) + 1
             for conn in ep.connections.values():
+                if conn.peer in dead:
+                    continue  # severed: shadow/population frozen mid-flight
                 if conn.backlog or self._shadow[(ep.rank, conn.peer)]:
                     self._violate(
                         "backlog-fifo",

@@ -46,7 +46,15 @@ EXTENDED_SCHEMES = DEFAULT_SCHEMES + ("rdma-eager",)
 #: ``link-down`` runs with the connection recovery subsystem installed: a
 #: link outage outlives a finite transport retry budget, the QP pairs go
 #: fatal, and the recovered runs must still agree across schemes.
+#: ``rank-death`` runs with the failure detector (``ft=True``): a victim
+#: rank (a pure receiver, so no survivor's delivery depends on its racy
+#: in-flight sends) dies mid-run, and the *survivors'* delivered
+#: multisets must still agree across schemes.
 SCENARIOS = (None, "receiver-stall", "lossy-window", "link-down")
+
+#: the rank-death arm is opt-in (``--scenarios ... rank-death``): its
+#: comparison covers survivors only, a weaker claim than the default arms
+FUZZ_SCENARIOS = SCENARIOS + ("rank-death",)
 
 #: message-size ladder, eager-weighted (eager_max is 1984 with the default
 #: 2 KB vbuf / 64 B header split; 2000+ goes rendezvous)
@@ -67,6 +75,10 @@ def generate_spec(seed: int, scenario: Optional[str] = None,
     """
     rng = random.Random(seed)
     nranks = rng.choice((2, 2, 3, 4))
+    if scenario == "rank-death":
+        # at least two survivors, so survivor-to-survivor traffic exists
+        # for the differential comparison
+        nranks = max(nranks, 3)
     prepost = rng.choice((1, 2, 5, 16))
     ecm_threshold = rng.choice((1, 5, 16))
     nmsgs = rng.randrange(4, 41)
@@ -78,6 +90,7 @@ def generate_spec(seed: int, scenario: Optional[str] = None,
             dst += 1  # never self-send
         messages.append([src, dst, rng.randrange(4), rng.choice(_SIZES)])
     faults = None
+    victim = None
     if scenario == "receiver-stall":
         faults = (
             FaultPlan(seed=seed)
@@ -113,8 +126,30 @@ def generate_spec(seed: int, scenario: Optional[str] = None,
             )
             .to_spec()
         )
+    elif scenario == "rank-death":
+        # The victim must send nothing: a message in flight *from* a
+        # dying rank is delivered or lost depending on scheme-specific
+        # timing, which would be a delivery mismatch by construction.
+        # Survivors' traffic among themselves is the differential claim;
+        # sends *to* the victim exercise PROC_FAILED completion (force
+        # one rendezvous-size send so at least one blocks on the corpse).
+        victim = rng.randrange(nranks)
+        for m in messages:
+            if m[0] == victim:
+                m[0] = rng.choice(
+                    [r for r in range(nranks) if r != victim and r != m[1]]
+                )
+        src = rng.choice([r for r in range(nranks) if r != victim])
+        messages.append([src, victim, rng.randrange(4), 50_000])
+        faults = (
+            FaultPlan(seed=seed)
+            .rank_death(rank=victim, at_ns=us(40))
+            .to_spec()
+        )
     elif scenario is not None:
-        raise ValueError(f"unknown fuzz scenario {scenario!r} (know {SCENARIOS})")
+        raise ValueError(
+            f"unknown fuzz scenario {scenario!r} (know {FUZZ_SCENARIOS})"
+        )
     return {
         "version": SPEC_VERSION,
         "seed": seed,
@@ -123,6 +158,8 @@ def generate_spec(seed: int, scenario: Optional[str] = None,
         "ecm_threshold": ecm_threshold,
         "scenario": scenario,
         "recovery": scenario == "link-down",
+        "ft": scenario == "rank-death",
+        "victim": victim,
         "on_demand": on_demand,
         "faults": faults,
         "messages": messages,
@@ -232,6 +269,7 @@ def run_spec(spec: Dict[str, Any], scheme_name: str) -> Dict[str, Any]:
             faults=faults,
             audit=auditor,
             recovery=recovery,
+            ft=bool(spec.get("ft", False)),
             on_demand=bool(spec.get("on_demand", False)),
         )
     except InvariantViolation as v:
@@ -249,17 +287,26 @@ def run_spec(spec: Dict[str, Any], scheme_name: str) -> Dict[str, Any]:
             "detail": str(exc),
             "audit": auditor.summary(),
         }
-    if result.failures:
+    unexpected = [
+        f for f in result.failures
+        if not (spec.get("ft") and f.dedup_key()[0] == "rank")
+    ]
+    if unexpected:
         # a QP pair was lost for good (recovery attempt budget exhausted)
-        f = result.failures[0]
+        f = unexpected[0]
         return {
             "ok": False,
             "kind": "connection-failure",
             "detail": str(f),
             "audit": auditor.summary(),
         }
+    # under rank-death the victim's result slot is None (its program was
+    # killed); the differential claim covers the survivors' deliveries
     delivered = sorted(
-        list(t) for per_rank in result.rank_results for t in per_rank
+        list(t)
+        for per_rank in result.rank_results
+        if per_rank is not None
+        for t in per_rank
     )
     return {
         "ok": True,

@@ -241,11 +241,11 @@ def _chaos_report(args: argparse.Namespace) -> dict:
     specs = grids.chaos_grid(scenarios=[args.scenario], schemes=args.schemes,
                              seed=args.seed, prepost=args.prepost,
                              recovery=args.recovery,
-                             congestion=args.congestion)
+                             congestion=args.congestion, ft=args.ft)
     res = run_cells(specs, workers=args.workers)
     report = chaos_report_header(args.scenario, seed=args.seed,
                                  prepost=args.prepost, recovery=args.recovery,
-                                 congestion=args.congestion)
+                                 congestion=args.congestion, ft=args.ft)
     for out in res.outcomes:
         report["schemes"][out.spec.params["scheme"]] = out.metrics
     return report
@@ -273,6 +273,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             f"prepost={report['prepost']} "
             f"recovery={'on' if report['recovery'] else 'off'} "
         )
+        if report.get("ft"):
+            title += "ft=on "
         if congested:
             title += f"congestion={report['congestion']} "
         title += f"(faults end at {report['fault_window_us']:.0f} us)"
@@ -298,10 +300,21 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                               reconnects, replayed, *cong_cells)
             elif "failures" in entry:
                 f = entry["failures"][0]
-                detail = (f"{f['cause']} {f['rank']}<->{f['peer']} "
-                          f"attempts={f['attempts']}")
+                if f.get("kind") == "rank-death":
+                    # a detected rank failure is the subsystem *working*:
+                    # show who died, who noticed, and how fast
+                    detail = (
+                        f"rank {f['rank']} dead ({f['cause']}), detected "
+                        f"by {f['detected_by']} in "
+                        f"{f['detection_latency_ns'] / 1000:.0f} us"
+                    )
+                    status = "DEAD"
+                else:
+                    detail = (f"{f['cause']} {f['rank']}<->{f['peer']} "
+                              f"attempts={f['attempts']}")
+                    status = "FAILED"
                 # the name column auto-sizes; the value columns do not
-                table.add_row(f"{scheme}: {detail}", "FAILED",
+                table.add_row(f"{scheme}: {detail}", status,
                               "-", "-", "-", "-", "-", "-", "-",
                               reconnects, replayed,
                               *(["-"] * len(cong_cells)))
@@ -571,6 +584,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(repro.congestion): finite egress queues with PFC "
                         "pause frames and/or ECN/DCQCN rate control "
                         "(bare flag = pfc)")
+    p.add_argument("--ft", action="store_true",
+                   help="install the rank-failure tolerance subsystem "
+                        "(repro.ft): a heartbeat failure detector turns "
+                        "dead ranks into structured RankFailure records "
+                        "and PROC_FAILED request statuses instead of a "
+                        "watchdog hang (pair with --scenario rank-death)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as canonical JSON")
     p.add_argument("--check", action="store_true",
@@ -593,9 +612,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default=["none", "receiver-stall", "lossy-window",
                             "link-down"],
                    choices=["none", "receiver-stall", "lossy-window",
-                            "link-down"],
+                            "link-down", "rank-death"],
                    help="fault scenarios cycled across runs (link-down "
-                        "runs under the connection recovery subsystem)")
+                        "runs under the connection recovery subsystem; "
+                        "rank-death under the failure detector, comparing "
+                        "survivors' deliveries only)")
     p.add_argument("--on-demand", action="store_true",
                    help="run every workload under lazy (on-demand) "
                         "connection establishment, so the differential "

@@ -54,6 +54,7 @@ class Cluster:
         self.cm = None  # set when launched with on_demand=True
         self.auditor = None  # repro.check.Auditor, when attached
         self.recovery = None  # repro.recovery.RecoveryManager, when installed
+        self.ft = None  # repro.ft.FTManager, when installed
 
     # ------------------------------------------------------------------
     def node_of_rank(self, rank: int) -> int:

@@ -50,6 +50,10 @@ class JobResult:
     failures: List[Any] = field(default_factory=list)
     #: the recovery manager, when the job ran with ``recovery=``
     recovery: Any = field(repr=False, default=None)
+    #: the failure-tolerance manager (heartbeat failure detector), when
+    #: the job ran with ``ft=``; ``failures`` then also carries
+    #: :class:`repro.ft.RankFailure` records for ranks declared dead
+    ft: Any = field(repr=False, default=None)
     #: :class:`repro.core.stats.CongestionReport` when the cluster ran
     #: with the switch congestion subsystem armed; ``None`` otherwise
     congestion: Any = field(default=None)
@@ -96,6 +100,8 @@ def run_job(
     faults: Optional[Any] = None,
     audit: Union[bool, Any] = False,
     recovery: Union[bool, Any] = False,
+    ft: Union[bool, Any] = False,
+    cm_chaos: Optional[Dict[str, Any]] = None,
     cluster: Optional[Cluster] = None,
 ) -> JobResult:
     """Build a cluster, run ``program`` on every rank, return the result.
@@ -133,6 +139,18 @@ def run_job(
         (default policy), or a :class:`repro.recovery.RecoveryPolicy` for
         custom backoff/attempt budgets.  Without it a fatal completion
         surfaces as a structured record on ``JobResult.failures``.
+    ft:
+        ``True`` to install a :class:`repro.ft.FTManager` (heartbeat
+        failure detector + ULFM-style error propagation), or a
+        :class:`repro.ft.FTConfig` for custom detection timing.  Rank
+        deaths (``FaultPlan.rank_death``) then complete pending requests
+        with ``Status.error == PROC_FAILED`` and surface as structured
+        :class:`repro.ft.RankFailure` records instead of hanging the job.
+    cm_chaos:
+        Keyword dict for
+        :meth:`repro.cluster.on_demand.ConnectionManager.configure_chaos`
+        (``loss_prob`` / ``delay_ns`` / ``policy`` / ``seed``) — lose or
+        delay on-demand setup exchanges; requires an on-demand cluster.
     cluster:
         Reuse an already-launched cluster instead of building a fresh one
         (the scheme/nranks must match what it was launched with).  Its
@@ -187,6 +205,25 @@ def run_job(
         for ep in endpoints:
             ep._recovery = None
 
+    ft_mgr = None
+    if ft:
+        from repro.ft import FTConfig, FTManager
+
+        ft_cfg = ft if isinstance(ft, FTConfig) else None
+        ft_mgr = FTManager(cluster, ft_cfg).install()
+    elif cluster.ft is not None:
+        # a prior failure-tolerant job on this cluster left hooks armed
+        cluster.ft = None
+        for ep in endpoints:
+            ep._ft = None
+
+    if cm_chaos is not None:
+        if cluster.cm is None:
+            raise ValueError(
+                "cm_chaos needs an on-demand cluster (run_job(..., on_demand=True))"
+            )
+        cluster.cm.configure_chaos(**cm_chaos)
+
     if faults is not None:
         from repro.faults import FaultInjector, FaultPlan
 
@@ -211,35 +248,63 @@ def run_job(
 
     procs = [cluster.sim.spawn(wrap(ep), name=f"rank{ep.rank}") for ep in endpoints]
 
+    from repro.ft.failures import RankFailedError
     from repro.recovery.failures import ConnectionFailedError
 
+    expected = (ConnectionFailedError, RankFailedError)
     failures: List[Any] = []
+    seen_failures: set = set()
+
+    def record_failure(f: Any) -> None:
+        # Both ends of a lost pair (and every survivor of a rank death)
+        # report the same event; dedup on the record's stable identity
+        # instead of scanning the list per insert.
+        key = f.dedup_key()
+        if key not in seen_failures:
+            seen_failures.add(key)
+            failures.append(f)
+
     try:
         cluster.sim.run(max_events=cluster.sim.events_executed + max_events)
-    except ConnectionFailedError as exc:
-        failures.append(exc.failure)
+    except expected as exc:
+        record_failure(exc.failure)
+
+    if ft_mgr is not None:
+        # Dead ranks' programs are parked on a never-firing signal, not
+        # hung — terminate them so the liveness check below covers the
+        # *survivors* (the acceptance criterion: zero hung ranks).
+        dead_ranks = ft_mgr.dead | ft_mgr.injected
+        if any(procs[r].alive for r in dead_ranks):
+            for r in sorted(dead_ranks):
+                procs[r].kill()
+            cluster.sim.run(
+                max_events=cluster.sim.events_executed + 4 * len(dead_ranks) + 4
+            )
+        for f in ft_mgr.failures:
+            record_failure(f)
 
     for p in procs:
-        if isinstance(p.failure, ConnectionFailedError):
-            if p.failure.failure not in failures:
-                failures.append(p.failure.failure)
+        if isinstance(p.failure, expected):
+            record_failure(p.failure.failure)
     if recovery_mgr is not None:
         for f in recovery_mgr.failures:
-            if f not in failures:
-                failures.append(f)
+            record_failure(f)
 
     failed = [p for p in procs if p.failure is not None
-              and not isinstance(p.failure, ConnectionFailedError)]
+              and not isinstance(p.failure, expected)]
     if failed:
         raise failed[0].failure
-    if not failures:
+    rank_only = bool(failures) and all(
+        f.dedup_key()[0] == "rank" for f in failures
+    )
+    if not failures or rank_only:
         hung = [p for p in procs if p.alive]
         if hung:
             raise RuntimeError(
                 f"deadlock: ranks {[p.name for p in hung]} never finished "
                 f"(sim time {cluster.sim.now} ns)"
             )
-        if auditor is not None:
+        if auditor is not None and not failures:
             auditor.final_check(expect_quiescent=finalize)
 
     cong_state = cluster.fabric.congestion
@@ -266,6 +331,7 @@ def run_job(
         audit=auditor,
         failures=failures,
         recovery=recovery_mgr,
+        ft=ft_mgr,
         congestion=cong_report,
         memory=collect_memory_report(endpoints, cluster.config),
     )

@@ -20,9 +20,12 @@ than with P².
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Tuple
+import random
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.mpi.connection import Connection
+from repro.recovery.failures import ConnectionFailedError, ConnectionFailure
+from repro.recovery.policy import RecoveryPolicy
 from repro.sim import Signal
 from repro.sim.units import us
 
@@ -34,6 +37,33 @@ if TYPE_CHECKING:  # pragma: no cover
 #: the fabric plus two QP state-machine walks (era measurements put full
 #: on-demand setup in the few-hundred-µs range).
 DEFAULT_SETUP_NS = us(250)
+
+
+class _SetupChaos:
+    """Knobs for control-plane chaos on the CM exchange: the unreliable
+    management datagrams may lose the REQ/REP/RTU (whole-exchange loss
+    with ``loss_prob``) or crawl (uniform extra delay up to ``delay_ns``),
+    and the requester retries on timeout with the recovery policy's
+    exponential-backoff schedule."""
+
+    __slots__ = ("loss_prob", "delay_ns", "policy", "seed")
+
+    def __init__(self, loss_prob: float, delay_ns: int, policy, seed: int):
+        if not 0.0 <= loss_prob < 1.0:
+            raise ValueError("cm chaos: loss_prob must be in [0, 1)")
+        if delay_ns < 0:
+            raise ValueError("cm chaos: delay_ns must be >= 0")
+        self.loss_prob = loss_prob
+        self.delay_ns = int(delay_ns)
+        self.policy = policy
+        self.seed = seed
+
+    def rng(self, pair: Tuple[int, int], attempt: int) -> random.Random:
+        """Per-(pair, attempt) RNG: deterministic, decorrelated across
+        pairs (same keying idiom as the recovery backoff jitter)."""
+        return random.Random(
+            self.seed * 1_000_003 + pair[0] * 1009 + pair[1] * 131 + attempt
+        )
 
 
 class ConnectionManager:
@@ -50,12 +80,33 @@ class ConnectionManager:
         self.cluster = cluster
         self.setup_ns = setup_ns
         self._pending: Dict[Tuple[int, int], Signal] = {}
+        self._chaos: Optional[_SetupChaos] = None
         #: unordered pairs wired so far (observability)
         self.established = 0
         #: pairs dismantled after a permanent connection loss
         self.torn_down = 0
         #: stale fired signals dropped by :meth:`request`'s self-heal
         self.invalidated = 0
+        #: chaos counters: exchanges lost, retried, given up on
+        self.setup_lost = 0
+        self.setup_retries = 0
+        self.setup_failures = 0
+
+    def configure_chaos(
+        self,
+        loss_prob: float = 0.0,
+        delay_ns: int = 0,
+        policy: Optional[RecoveryPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        """Arm control-plane chaos: every CM exchange may be lost with
+        ``loss_prob`` or delayed uniformly in ``[0, delay_ns)``; the
+        requester times out and retries with ``policy``'s exponential
+        backoff, surfacing ``ConnectionFailedError`` (cause
+        ``cm-setup-timeout``) once the attempt budget is spent.  With the
+        manager unarmed (the default) the setup path is byte-identical to
+        the chaos-free implementation."""
+        self._chaos = _SetupChaos(loss_prob, delay_ns, policy or RecoveryPolicy(), seed)
 
     def request(self, endpoint: "Endpoint", peer: int) -> Signal:
         """Start (or join) connection setup between ``endpoint.rank`` and
@@ -73,8 +124,63 @@ class ConnectionManager:
             del self._pending[pair]
         sig = Signal(f"cm.{pair}")
         self._pending[pair] = sig
-        self.cluster.sim.schedule(self.setup_ns, self._establish, pair, sig)
+        if self._chaos is None:
+            self.cluster.sim.schedule(self.setup_ns, self._establish, pair, sig)
+        else:
+            self._attempt(pair, sig, 1)
         return sig
+
+    # ------------------------------------------------------ chaos plumbing
+    def _attempt(self, pair: Tuple[int, int], sig: Signal, attempt: int) -> None:
+        """One chaotic CM exchange: maybe lost, maybe slow, always
+        guarded by a timeout that either retries or gives up."""
+        chaos = self._chaos
+        rng = chaos.rng(pair, attempt)
+        sim = self.cluster.sim
+        tracer = self.cluster.tracer
+        lost = chaos.loss_prob > 0.0 and rng.random() < chaos.loss_prob
+        extra = rng.randrange(chaos.delay_ns) if chaos.delay_ns else 0
+        if lost:
+            self.setup_lost += 1
+            tracer.count("cm.setup_lost", pair)
+        else:
+            sim.schedule(self.setup_ns + extra, self._establish, pair, sig)
+        # The timeout covers the worst-case chaotic exchange plus the
+        # attempt's backoff share, so an establish in flight always wins
+        # the race against its own timer.
+        pol = chaos.policy
+        backoff = min(
+            pol.max_delay_ns, int(pol.base_delay_ns * pol.backoff_factor ** (attempt - 1))
+        )
+        if pol.jitter_ns:
+            backoff += rng.randrange(pol.jitter_ns)
+        sim.schedule(
+            self.setup_ns + chaos.delay_ns + backoff,
+            self._setup_timeout, pair, sig, attempt,
+        )
+
+    def _setup_timeout(self, pair: Tuple[int, int], sig: Signal, attempt: int) -> None:
+        if sig.fired or self._pending.get(pair) is not sig:
+            return  # establish won the race, or the pair was torn down
+        chaos = self._chaos
+        if chaos is None or attempt >= chaos.policy.max_attempts:
+            self.setup_failures += 1
+            self.cluster.tracer.count("cm.setup_failed", pair)
+            del self._pending[pair]
+            a = self.cluster.endpoints[pair[0]]
+            sig.fail(self.cluster.sim, ConnectionFailedError(ConnectionFailure(
+                rank=pair[0],
+                peer=pair[1],
+                scheme=a.scheme.name.value,
+                epoch=0,  # the pair never came up
+                cause="cm-setup-timeout",
+                elapsed_ns=self.cluster.sim.now,
+                attempts=attempt,
+            )))
+            return
+        self.setup_retries += 1
+        self.cluster.tracer.count("cm.setup_retry", pair)
+        self._attempt(pair, sig, attempt + 1)
 
     def teardown(self, rank_a: int, rank_b: int) -> None:
         """Dismantle the pair's connection state after a permanent loss
@@ -91,6 +197,11 @@ class ConnectionManager:
             self.torn_down += 1
 
     def _establish(self, pair: Tuple[int, int], sig: Signal) -> None:
+        if sig.fired:
+            # A duplicate exchange under chaos (slow attempt raced its own
+            # retry), or the failure detector failed the signal because one
+            # end died mid-setup.  A one-shot Signal cannot re-fire.
+            return
         a = self.cluster.endpoints[pair[0]]
         b = self.cluster.endpoints[pair[1]]
         if pair[1] not in a.connections:  # idempotence guard

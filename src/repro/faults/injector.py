@@ -148,9 +148,9 @@ class FaultInjector:
             if ev.kind in ("link_flap", "link_degrade", "hca_pause") and ev.lid >= nodes:
                 raise FaultInjectorError(
                     f"{ev.kind}: lid {ev.lid} outside cluster of {nodes} nodes")
-            if ev.kind == "receiver_stall" and ev.rank >= ranks:
+            if ev.kind in ("receiver_stall", "rank_death") and ev.rank >= ranks:
                 raise FaultInjectorError(
-                    f"receiver_stall: rank {ev.rank} outside world of {ranks}")
+                    f"{ev.kind}: rank {ev.rank} outside world of {ranks}")
             if ev.kind == "drop_window":
                 bad = [lid for lid in ev.lids if lid >= nodes]
                 if bad:
@@ -174,6 +174,13 @@ class FaultInjector:
             self.cluster.endpoints[ev.rank].fault_stall(ev.duration_ns)
         elif ev.kind == "hca_pause":
             self.cluster.hcas[ev.lid].pause(ev.duration_ns)
+        elif ev.kind == "rank_death":
+            ep = self.cluster.endpoints[ev.rank]
+            ep.halt()  # park the program before the flush WCs could wake it
+            ep.hca.kill()
+            ft = getattr(self.cluster, "ft", None)
+            if ft is not None:
+                ft.note_injected_death(ev.rank, self.cluster.sim.now)
 
     def _end(self, ev: FaultEvent) -> None:
         state = self.state

@@ -24,7 +24,14 @@ from repro.ib.types import INFINITE_RETRY
 from repro.sim.units import us
 
 #: Event kinds understood by the injector (spec files use these strings).
-KINDS = ("link_flap", "link_degrade", "drop_window", "receiver_stall", "hca_pause")
+KINDS = (
+    "link_flap",
+    "link_degrade",
+    "drop_window",
+    "receiver_stall",
+    "hca_pause",
+    "rank_death",
+)
 
 #: Default requester ACK-timeout while a fault plan is armed.  Generously
 #: above the healthy round trip (~10 us) so the timer only ever fires on a
@@ -50,6 +57,9 @@ class FaultEvent:
     ``receiver_stall`` — rank ``rank`` stops re-posting vbufs / returning
                          credits (slow-consumer model)
     ``hca_pause``      — both engines of the HCA at ``lid`` freeze
+    ``rank_death``     — rank ``rank`` dies outright at ``at_ns``: its HCA
+                         stops answering, its progress engine halts, and it
+                         never comes back (``duration_ns`` is nominal)
     """
 
     kind: str
@@ -72,8 +82,8 @@ class FaultEvent:
             raise FaultPlanError(f"{self.kind}: duration_ns must be > 0")
         if self.kind in ("link_flap", "link_degrade", "hca_pause") and self.lid < 0:
             raise FaultPlanError(f"{self.kind}: needs a target lid")
-        if self.kind == "receiver_stall" and self.rank < 0:
-            raise FaultPlanError("receiver_stall: needs a target rank")
+        if self.kind in ("receiver_stall", "rank_death") and self.rank < 0:
+            raise FaultPlanError(f"{self.kind}: needs a target rank")
         if self.kind == "drop_window" and not 0.0 < self.probability <= 1.0:
             raise FaultPlanError("drop_window: probability must be in (0, 1]")
         if self.kind == "link_degrade":
@@ -185,6 +195,26 @@ class FaultPlan:
     def hca_pause(self, lid: int, at_ns: int, duration_ns: int) -> "FaultPlan":
         """Freeze both engines of one adapter (firmware hiccup model)."""
         return self.add(FaultEvent("hca_pause", at_ns, duration_ns, lid=lid))
+
+    def rank_death(self, rank: int, at_ns: int) -> "FaultPlan":
+        """Kill ``rank`` outright at ``at_ns``: its HCA's engines stop,
+        its QPs flush to ERROR, inbound packets vanish unanswered, and
+        its program halts — permanently (the event's ``duration_ns`` is
+        a nominal 1 ns; death does not end).
+
+        Retry policy shapes *how* the detector notices: with the default
+        infinite ``transport_retry_limit`` detection is purely the
+        heartbeat path (the detector's severing then force-errors the
+        victim-facing QPs, stopping the retry timers so the agenda
+        drains); with a finite limit, transport retry exhaustion against
+        the dead HCA confirms the death earlier.  On multi-rank nodes
+        the whole adapter dies, so co-located ranks die with it; the
+        stock rank-death scenario keeps one rank per node.  Requires
+        ``run_job(..., ft=True)`` for structured detection — without
+        the failure-tolerance layer the job hangs until the auditor
+        watchdog trips (that contrast is scenario arm 2).
+        """
+        return self.add(FaultEvent("rank_death", at_ns, 1, rank=rank))
 
     # ------------------------------------------------------------ queries
     @property

@@ -25,6 +25,19 @@ connection failure instead of hanging.
 the hardware scheme (whose only flow control *is* the RNR timer) blows its
 retry budget while the user-level schemes ride through on credits.
 
+``rank-death`` — a 4-rank exchange whose rank 2 dies outright mid-run
+(HCA silent, program halted).  With ``--ft`` the heartbeat failure
+detector (repro.ft) declares the rank dead, completes every pending
+request toward it with ``PROC_FAILED``, and the job finishes with a
+structured :class:`~repro.ft.RankFailure` record; without ``--ft`` the
+same plan is caught by the auditor's progress watchdog instead of
+hanging.
+
+``cm-lossy-setup`` — control-plane chaos: a 6-rank ring on an on-demand
+cluster whose CM setup exchanges are probabilistically lost and delayed;
+the connection manager retries with exponential backoff (the
+``cm.setup_*`` counters land in the report).
+
 Three congestion scenarios (meaningful with ``--congestion``, but they run
 fine without it as the uncongested baseline):
 
@@ -106,9 +119,12 @@ class Scenario:
         nranks: int,
         prepost: int,
         make_program: Callable[[], Callable],
-        make_plan: Callable[[int], FaultPlan],
+        make_plan: Callable[[int], Optional[FaultPlan]],
         make_config: Optional[Callable[[], TestbedConfig]] = None,
         victim_rank: Optional[int] = None,
+        audit: bool = False,
+        on_demand: Optional[bool] = None,
+        make_cm_chaos: Optional[Callable[[int], Dict]] = None,
     ):
         self.name = name
         self.description = description
@@ -123,6 +139,13 @@ class Scenario:
         #: HoL-blocking metric (an innocent flow sharing switch resources
         #: with the hot flows); None = no victim metric
         self.victim_rank = victim_rank
+        #: run under the invariant auditor (rank-death: its watchdog is
+        #: the no-ft contrast arm, its exemptions the ft arm's check)
+        self.audit = audit
+        #: force lazy connection management (cm-lossy-setup needs it)
+        self.on_demand = on_demand
+        #: seed -> kwargs for ConnectionManager.configure_chaos
+        self.make_cm_chaos = make_cm_chaos
 
 
 def _receiver_stall_plan(seed: int) -> FaultPlan:
@@ -164,6 +187,64 @@ def _retry_budget_plan(seed: int) -> FaultPlan:
     return FaultPlan(seed=seed).receiver_stall(
         rank=1, at_ns=us(5), duration_ns=us(3200)
     )
+
+
+#: the rank the rank-death scenario kills (one rank per node on the
+#: 8-node default testbed, so only this rank's HCA dies with it)
+RANK_DEATH_VICTIM = 2
+
+
+def _rank_death_plan(seed: int) -> FaultPlan:
+    # Default (infinite) transport retry: survivors' transports never give
+    # up on the dead peer, so detection is purely the heartbeat detector's
+    # doing (with ft) — and without ft the run goes quiet until the
+    # progress watchdog declares it, the pre-ft failure mode.  The
+    # detector's _sever force-errors the victim-facing QPs, which stops
+    # the retry timers and lets the agenda drain.
+    return FaultPlan(seed=seed).rank_death(rank=RANK_DEATH_VICTIM, at_ns=us(40))
+
+
+def _rank_death_program(nranks: int, victim: int) -> Callable:
+    """Every survivor owes the victim a rendezvous-size send (in-flight
+    data the transport will declare unreachable) and expects a reply that
+    never comes (pending work the heartbeat detector watches); a light
+    survivor-to-survivor ring shows the rest of the fabric stays live."""
+
+    def program(mpi) -> Generator:
+        n = mpi.world_size
+        if mpi.rank == victim:
+            for src in range(n):
+                if src != victim:
+                    yield from mpi.recv(src, capacity=1 << 16)
+            for dst in range(n):  # never reached: death hits mid-receive
+                if dst != victim:
+                    yield from mpi.send(dst, size=256)
+            return "victim-survived?"
+        sreq = yield from mpi.isend(victim, size=50_000)
+        rreq = yield from mpi.irecv(source=victim, capacity=1 << 16)
+        survivors = [r for r in range(n) if r != victim]
+        i = survivors.index(mpi.rank)
+        right = survivors[(i + 1) % len(survivors)]
+        left = survivors[(i - 1) % len(survivors)]
+        ring_r = yield from mpi.irecv(source=left, capacity=1024)
+        yield from mpi.send(right, size=512)
+        st_send = yield from mpi.wait(sreq)
+        st_recv = yield from mpi.wait(rreq)
+        st_ring = yield from mpi.wait(ring_r)
+        return {
+            "send_error": st_send.error,
+            "recv_error": st_recv.error,
+            "ring_error": st_ring.error,
+        }
+
+    return program
+
+
+def _cm_chaos_kwargs(seed: int) -> Dict:
+    # 25 % of setup exchanges lost, the rest uniformly delayed up to
+    # 120 us: enough churn to force retries without (at stock seeds)
+    # exhausting the 5-attempt backoff budget.
+    return {"loss_prob": 0.25, "delay_ns": us(120), "seed": seed}
 
 
 def _congestion_plan(seed: int) -> FaultPlan:
@@ -263,6 +344,27 @@ SCENARIOS: Dict[str, Scenario] = {
         make_plan=_retry_budget_plan,
         make_config=_retry_budget_config,
     ),
+    "rank-death": Scenario(
+        "rank-death",
+        "4-rank exchange; rank 2 dies outright mid-run (needs --ft to "
+        "detect; without it the progress watchdog trips)",
+        nranks=4,
+        prepost=8,
+        make_program=lambda: _rank_death_program(4, RANK_DEATH_VICTIM),
+        make_plan=_rank_death_plan,
+        audit=True,
+    ),
+    "cm-lossy-setup": Scenario(
+        "cm-lossy-setup",
+        "on-demand ring whose CM setup exchanges are lost/delayed "
+        "(bounded-retry exponential backoff on the control plane)",
+        nranks=6,
+        prepost=4,
+        make_program=lambda: _ring_program(rounds=12, msg_bytes=512),
+        make_plan=lambda seed: None,  # control-plane chaos only
+        on_demand=True,
+        make_cm_chaos=_cm_chaos_kwargs,
+    ),
     "incast-n1": Scenario(
         "incast-n1",
         "8-to-1 incast into rank 0 plus a victim flow to an idle rank",
@@ -313,6 +415,7 @@ def chaos_cell(
     prepost: Optional[int] = None,
     recovery: bool = False,
     congestion: Optional[str] = None,
+    ft: bool = False,
 ) -> Dict:
     """Run one scheme under the named scenario and return its report entry.
 
@@ -331,11 +434,16 @@ def chaos_cell(
     a ``congestion`` sub-dict (pause frames, ECN marks, drops, per-dest
     queue peaks) plus — for scenarios that define a victim flow —
     ``victim_finish_us``.
+
+    With ``ft=True`` the job runs under the rank-failure detector
+    (``repro.ft``): a ``rank_death`` plan completes with structured
+    ``RankFailure`` records and an ``ft`` sub-dict (pings, suspicions,
+    detection latency) instead of hanging until the watchdog fires.
     """
     sc = _scenario(scenario)
     depth = sc.prepost if prepost is None else prepost
     plan = sc.make_plan(seed)  # fresh plan (and RNG) per run
-    plan_end = plan.end_ns
+    plan_end = plan.end_ns if plan is not None else 0
     config = sc.make_config() if sc.make_config is not None else None
     if congestion is not None:
         from repro.congestion import make_congestion_config
@@ -343,10 +451,13 @@ def chaos_cell(
         if config is None:
             config = TestbedConfig()
         config.ib.congestion = make_congestion_config(congestion)
+    cm_chaos = sc.make_cm_chaos(seed) if sc.make_cm_chaos is not None else None
     try:
         result = run_job(
             sc.make_program(), sc.nranks, scheme, depth,
             config=config, faults=plan, recovery=recovery,
+            audit=sc.audit, on_demand=sc.on_demand, ft=ft,
+            cm_chaos=cm_chaos,
         )
     except Exception as exc:  # deterministic failures are part of the report
         return {
@@ -357,10 +468,15 @@ def chaos_cell(
     if result.failures:
         entry = {
             "completed": False,
+            "elapsed_us": result.elapsed_us,
             "failures": [f.to_dict() for f in result.failures],
         }
         if mgr is not None:
             entry["recovery"] = mgr.summary()
+        if result.ft is not None:
+            stats = result.ft.stats()
+            stats.pop("failures", None)  # already in the entry, typed
+            entry["ft"] = stats
         return entry
     fc = result.fc
     summary = result.tracer.summary()
@@ -386,16 +502,31 @@ def chaos_cell(
         entry["congestion"] = result.congestion.to_dict()
     if mgr is not None:
         entry["recovery"] = mgr.summary()
+    if result.ft is not None:
+        stats = result.ft.stats()
+        stats.pop("failures", None)
+        entry["ft"] = stats
+    if sc.on_demand:
+        entry["connections_established"] = result.connections_established
+        cm_counters = {
+            name: total
+            for name, total in summary.items()
+            if name.startswith("cm.")
+        }
+        if cm_counters:
+            entry["cm"] = cm_counters
     return entry
 
 
 def chaos_report_header(
     scenario: str, seed: int = 7, prepost: Optional[int] = None,
     recovery: bool = False, congestion: Optional[str] = None,
+    ft: bool = False,
 ) -> Dict:
     """The scenario-level fields shared by every scheme's entry."""
     sc = _scenario(scenario)
     depth = sc.prepost if prepost is None else prepost
+    plan = sc.make_plan(seed)
     return {
         "scenario": sc.name,
         "description": sc.description,
@@ -404,7 +535,8 @@ def chaos_report_header(
         "prepost": depth,
         "recovery": recovery,
         "congestion": congestion,
-        "fault_window_us": to_us(sc.make_plan(seed).end_ns),
+        "ft": ft,
+        "fault_window_us": to_us(plan.end_ns) if plan is not None else 0.0,
         "schemes": {},
     }
 
@@ -416,14 +548,16 @@ def run_chaos(
     prepost: Optional[int] = None,
     recovery: bool = False,
     congestion: Optional[str] = None,
+    ft: bool = False,
 ) -> Dict:
     """Run ``schemes`` under the named scenario; returns the robustness
     report as a plain dict (deterministic content for a fixed seed)."""
     report = chaos_report_header(scenario, seed=seed, prepost=prepost,
-                                 recovery=recovery, congestion=congestion)
+                                 recovery=recovery, congestion=congestion,
+                                 ft=ft)
     for scheme in schemes:
         report["schemes"][scheme] = chaos_cell(
             scenario, scheme, seed=seed, prepost=prepost, recovery=recovery,
-            congestion=congestion,
+            congestion=congestion, ft=ft,
         )
     return report

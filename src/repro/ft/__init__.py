@@ -1,0 +1,18 @@
+"""Rank-failure tolerance (heartbeat detection, ULFM-style propagation).
+
+See :mod:`repro.ft.manager` for the subsystem overview.  Enable per job
+with ``run_job(..., ft=True)`` (or pass an :class:`FTConfig`), per
+scenario with ``repro chaos --ft``.
+"""
+
+from repro.ft.config import FTConfig
+from repro.ft.failures import PROC_FAILED, RankFailedError, RankFailure
+from repro.ft.manager import FTManager
+
+__all__ = [
+    "FTConfig",
+    "FTManager",
+    "PROC_FAILED",
+    "RankFailedError",
+    "RankFailure",
+]

@@ -1,0 +1,57 @@
+"""Failure-detector tuning knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import us
+
+
+@dataclass(frozen=True)
+class FTConfig:
+    """Heartbeat failure-detector parameters.
+
+    The detector only watches peers the local rank has *pending work*
+    toward (undone send/recv requests, unanswered on-demand setup
+    exchanges), so a healthy idle job schedules no heartbeat events at
+    all and the agenda drains normally.
+
+    A peer silent for ``suspect_timeout_ns`` enters suspicion; each
+    confirmation round doubles the tolerated silence (exponential
+    confirmation) and sends one jittered keepalive ping over the
+    fabric's control path.  After ``confirmations`` unanswered rounds
+    the peer is declared dead.  Worst-case detection latency is
+    therefore roughly ``suspect_timeout_ns * 2**confirmations`` plus
+    one heartbeat tick — comfortably inside the auditor's 5 ms
+    watchdog quiet bound at the defaults.
+    """
+
+    #: detector tick / keepalive cadence while work is pending
+    heartbeat_interval_ns: int = us(100)
+    #: silence threshold that starts suspicion (round 0)
+    suspect_timeout_ns: int = us(300)
+    #: unanswered ping rounds (with doubling silence bound) before declaring
+    confirmations: int = 2
+    #: keepalive send jitter bound, seeded (0 disables jitter)
+    jitter_ns: int = us(5)
+    #: seed for the per-(observer, peer, round) jitter streams
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.heartbeat_interval_ns <= 0:
+            raise ValueError("heartbeat_interval_ns must be positive")
+        if self.suspect_timeout_ns <= 0:
+            raise ValueError("suspect_timeout_ns must be positive")
+        if self.confirmations < 0:
+            raise ValueError("confirmations must be >= 0")
+        if self.jitter_ns < 0:
+            raise ValueError("jitter_ns must be >= 0")
+
+    @property
+    def detection_budget_ns(self) -> int:
+        """Upper bound on silence-to-declaration latency (used to
+        pre-extend the auditor watchdog when a death is injected)."""
+        return (
+            self.suspect_timeout_ns * (2 ** (self.confirmations + 1))
+            + 2 * self.heartbeat_interval_ns
+        )

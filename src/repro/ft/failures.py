@@ -1,0 +1,74 @@
+"""Structured rank-failure reporting (ULFM-style error objects).
+
+A rank declared dead by the failure detector surfaces as a
+:class:`RankFailure` record on ``JobResult.failures`` — the whole-process
+analogue of :class:`repro.recovery.failures.ConnectionFailure`.  Pending
+requests targeting the dead rank complete with ``Status.error ==
+PROC_FAILED`` (MPI_ERR_PROC_FAILED) instead of hanging, and a program
+parked on an on-demand connection exchange toward the dead rank is
+resumed with :class:`RankFailedError`.
+
+Import-light on purpose: ``repro.mpi.endpoint`` imports this from the
+send path, so it must not import the MPI layer back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: ``Status.error`` value for requests completed against a dead peer
+#: (ULFM's MPI_ERR_PROC_FAILED).  Defined here *and* in
+#: ``repro.mpi.request`` (same literal) so this module stays free of
+#: repro imports: ``mpi.endpoint`` imports it while the ``repro.mpi``
+#: package is still initialising, so any import edge back into
+#: ``repro.mpi`` would cycle.
+PROC_FAILED = "PROC_FAILED"
+
+__all__ = ["PROC_FAILED", "RankFailure", "RankFailedError"]
+
+
+@dataclass(frozen=True)
+class RankFailure:
+    """One rank declared dead by the failure detector."""
+
+    rank: int  #: the rank that died
+    detected_by: int  #: the surviving rank whose detector declared it
+    scheme: str  #: flow-control scheme name ("hardware" / "static" / ...)
+    cause: str  #: "heartbeat-timeout" or "transport-retry-exceeded"
+    died_ns: int  #: injected death instant (== detected_ns if unknown)
+    detected_ns: int  #: simulated time of the declaration
+    suspect_rounds: int  #: confirmation rounds consumed before declaring
+
+    @property
+    def detection_latency_ns(self) -> int:
+        """Silence-to-declaration latency of the failure detector."""
+        return self.detected_ns - self.died_ns
+
+    def dedup_key(self) -> tuple:
+        """Stable identity for set-based dedup on ``JobResult.failures``
+        (every survivor observes the same death exactly once)."""
+        return ("rank", self.rank)
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = "rank-death"
+        d["detection_latency_ns"] = self.detection_latency_ns
+        return d
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"rank {self.rank} dead ({self.cause}) detected by "
+            f"{self.detected_by} at t={self.detected_ns}ns "
+            f"(latency {self.detection_latency_ns}ns, "
+            f"rounds={self.suspect_rounds}) scheme={self.scheme}"
+        )
+
+
+class RankFailedError(RuntimeError):
+    """Raised into a program parked on communication toward a rank the
+    detector just declared dead; carries the structured record for
+    ``JobResult.failures``."""
+
+    def __init__(self, failure: RankFailure):
+        super().__init__(str(failure))
+        self.failure = failure

@@ -1,0 +1,354 @@
+"""Rank-failure tolerance: heartbeat detection + ULFM-style propagation.
+
+Layered above ``repro.recovery`` (which repairs *connections* between
+live ranks), :class:`FTManager` handles whole-*rank* death:
+
+* **Detection.**  A rank only watches peers it has pending work toward
+  (undone send/recv requests, unanswered on-demand setup exchanges).
+  Liveness is piggybacked on existing traffic — every delivered header
+  refreshes ``last_heard`` for free — and explicit keepalive pings ride
+  the fabric's control path only once a peer has been silent past
+  ``FTConfig.suspect_timeout_ns``.  Each unanswered round doubles the
+  tolerated silence (exponential confirmation) before the peer is
+  declared dead.  A transport-retry-exceeded completion against a dead
+  HCA short-circuits the heartbeat: unreachability reported by the RC
+  transport is accepted as immediate confirmation.
+
+* **Propagation.**  Declaring a rank dead completes every pending
+  request targeting it with ``Status.error == PROC_FAILED`` (ULFM's
+  MPI_ERR_PROC_FAILED) instead of letting the program hang: backlogged
+  sends, in-flight rendezvous handshakes, posted receives, and programs
+  parked on an on-demand connection setup are all resumed.  The
+  structured :class:`~repro.ft.failures.RankFailure` record lands on
+  ``JobResult.failures`` with detection-latency stats, and the invariant
+  auditor is told to exempt the dead rank from credit-conservation and
+  watchdog accounting.
+
+Zero-cost when not installed: every hook in the endpoint hot path is
+guarded by ``if self._ft is not None`` and no detector event is ever
+scheduled, so disabled runs stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.ft.config import FTConfig
+from repro.ft.failures import PROC_FAILED, RankFailedError, RankFailure
+from repro.mpi.request import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.builder import Cluster
+    from repro.ib.cq import WC
+    from repro.mpi.connection import Connection
+    from repro.mpi.endpoint import Endpoint
+    from repro.mpi.request import Request
+
+
+class FTManager:
+    """Per-cluster failure detector and dead-rank bookkeeping."""
+
+    def __init__(self, cluster: "Cluster", config: Optional[FTConfig] = None):
+        self.cluster = cluster
+        self.config = config or FTConfig()
+        self.config.validate()
+        self.sim = cluster.sim
+
+        self.dead: Set[int] = set()  # declared dead (detector verdicts)
+        self.injected: Set[int] = set()  # ground truth from the fault plan
+        self.failures: List[RankFailure] = []
+
+        # (observer, peer) -> undone requests whose progress needs the peer
+        self._watch: Dict[Tuple[int, int], List["Request"]] = {}
+        self._last_heard: Dict[Tuple[int, int], int] = {}
+        self._rounds: Dict[Tuple[int, int], int] = {}
+        self._died_ns: Dict[int, int] = {}
+        self._armed = False
+
+        # observability
+        self.pings_sent = 0
+        self.pongs_sent = 0
+        self.pongs_received = 0
+        self.suspicions = 0
+        self.proc_failed = 0  # requests completed with PROC_FAILED
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+    def install(self) -> "FTManager":
+        """Attach to every endpoint (``ep._ft``) and the cluster."""
+        self.cluster.ft = self
+        for ep in self.cluster.endpoints:
+            ep._ft = self
+        return self
+
+    # ------------------------------------------------------------------
+    # hooks from the endpoint (all gated on ``ep._ft is not None``)
+    # ------------------------------------------------------------------
+    def fail_if_dead(self, ep: "Endpoint", req: "Request", peer: int) -> bool:
+        """Complete ``req`` with PROC_FAILED when ``peer`` is already
+        declared dead; returns True if it did."""
+        if peer in self.dead:
+            self.fail_request(ep, req, peer)
+            return True
+        return False
+
+    def watch(self, ep: "Endpoint", req: "Request", peer: int) -> None:
+        """Monitor ``peer``'s liveness until ``req`` completes."""
+        key = (ep.rank, peer)
+        self._watch.setdefault(key, []).append(req)
+        self._last_heard.setdefault(key, self.sim.now)
+        if not self._armed:
+            self._armed = True
+            self.sim.every(self.config.heartbeat_interval_ns, self._tick)
+
+    def on_heard(self, observer: int, peer: int) -> None:
+        """Traffic from ``peer`` reached ``observer``: refresh liveness."""
+        self._last_heard[(observer, peer)] = self.sim.now
+        if self._rounds:
+            self._rounds.pop((observer, peer), None)
+
+    def fail_request(self, ep: "Endpoint", req: "Request", peer: int) -> None:
+        """Complete a request against a dead peer (idempotent)."""
+        if req.done:
+            return
+        self.proc_failed += 1
+        req.complete(
+            Status(source=peer, tag=-1, size=0, payload=None, error=PROC_FAILED)
+        )
+
+    def on_error_wc(self, ep: "Endpoint", wc: "WC") -> Optional[int]:
+        """Absorb error completions explained by rank death.
+
+        Transport retry exhaustion toward a dead HCA is *detection*: the
+        RC transport declaring the peer unreachable confirms the failure
+        faster than the heartbeat's exponential rounds would.  Error
+        completions for already-declared peers are reclaimed quietly.
+        Returns a CPU cost to absorb the completion, or None to let the
+        normal (recovery / structured-connection-failure) path run.
+        """
+        if ep._halted or ep.rank in self.injected:
+            # The victim's own flushed completions: frozen state, absorb.
+            ep._reclaim_error_wc(wc)
+            return 0
+        conn = ep._conn_for_qp(wc.qp_num)
+        if conn is None:
+            return None
+        peer = conn.peer
+        if peer in self.dead:
+            ep._reclaim_error_wc(wc)
+            return 0
+        if peer in self.injected or self.cluster.endpoints[peer].hca.dead:
+            ep._reclaim_error_wc(wc)
+            self._declare(
+                peer,
+                detected_by=ep.rank,
+                rounds=self._rounds.get((ep.rank, peer), 0),
+                cause="transport-retry-exceeded",
+            )
+            return 0
+        return None
+
+    # ------------------------------------------------------------------
+    # hook from the fault injector
+    # ------------------------------------------------------------------
+    def note_injected_death(self, rank: int, now: int) -> None:
+        """Ground truth for detection-latency stats (the detector itself
+        never reads this: it only sees silence and transport errors)."""
+        self.injected.add(rank)
+        self._died_ns.setdefault(rank, now)
+        aud = self.cluster.auditor
+        if aud is not None:
+            # the detector needs up to detection_budget_ns of silence
+            # before it can turn the hang into a structured failure
+            aud.extend_grace(now + self.config.detection_budget_ns)
+
+    # ------------------------------------------------------------------
+    # the detector
+    # ------------------------------------------------------------------
+    def _tick(self) -> bool:
+        now = self.sim.now
+        cfg = self.config
+        eps = self.cluster.endpoints
+        active = False
+        for key in sorted(self._watch):
+            reqs = self._watch.get(key)
+            if reqs is None:  # dropped by a declaration earlier this tick
+                continue
+            obs, peer = key
+            reqs = [r for r in reqs if not r.done]
+            if not reqs or obs in self.dead or peer in self.dead or eps[obs]._halted:
+                del self._watch[key]
+                self._rounds.pop(key, None)
+                continue
+            self._watch[key] = reqs
+            active = True
+            rounds = self._rounds.get(key, 0)
+            bound = cfg.suspect_timeout_ns << rounds
+            if now - self._last_heard[key] < bound:
+                continue
+            if rounds >= cfg.confirmations:
+                self._declare(
+                    peer, detected_by=obs, rounds=rounds, cause="heartbeat-timeout"
+                )
+                continue
+            if rounds == 0:
+                self.suspicions += 1
+            self._rounds[key] = rounds + 1
+            self._send_ping(obs, peer, rounds)
+            aud = self.cluster.auditor
+            if aud is not None:
+                # hold the watchdog off while confirmation rounds run
+                aud.extend_grace(now + (bound << 1) + cfg.heartbeat_interval_ns)
+        if not active:
+            self._armed = False  # agenda drains; re-armed by the next watch()
+        return active
+
+    def _send_ping(self, obs: int, peer: int, attempt: int) -> None:
+        cfg = self.config
+        delay = 0
+        if cfg.jitter_ns:
+            rng = random.Random(
+                cfg.seed * 1_000_003 + obs * 1009 + peer * 131 + attempt
+            )
+            delay = rng.randrange(cfg.jitter_ns)
+        self.sim.schedule(delay, self._ping_depart, obs, peer)
+
+    def _ping_depart(self, obs: int, peer: int) -> None:
+        if peer in self.dead or obs in self.dead:
+            return
+        eps = self.cluster.endpoints
+        src = eps[obs]
+        if src.hca.dead or src._halted:
+            return
+        self.pings_sent += 1
+        self.cluster.fabric.send_control(
+            src.hca.lid, eps[peer].hca.lid, self._ping_arrive, obs, peer
+        )
+
+    def _ping_arrive(self, obs: int, peer: int) -> None:
+        eps = self.cluster.endpoints
+        target = eps[peer]
+        if peer in self.dead or target.hca.dead or target._halted:
+            return  # a dead rank answers nothing: silence IS the signal
+        self.pongs_sent += 1
+        self.cluster.fabric.send_control(
+            target.hca.lid, eps[obs].hca.lid, self._pong_arrive, obs, peer
+        )
+
+    def _pong_arrive(self, obs: int, peer: int) -> None:
+        if self.cluster.endpoints[obs].hca.dead:
+            return
+        self.pongs_received += 1
+        self.on_heard(obs, peer)
+
+    # ------------------------------------------------------------------
+    # declaration + ULFM-style propagation
+    # ------------------------------------------------------------------
+    def _declare(self, rank: int, detected_by: int, rounds: int, cause: str) -> None:
+        if rank in self.dead:
+            return
+        now = self.sim.now
+        self.dead.add(rank)
+        eps = self.cluster.endpoints
+        failure = RankFailure(
+            rank=rank,
+            detected_by=detected_by,
+            scheme=eps[detected_by].scheme.name.value,
+            cause=cause,
+            died_ns=self._died_ns.get(rank, now),
+            detected_ns=now,
+            suspect_rounds=rounds,
+        )
+        self.failures.append(failure)
+        self.cluster.tracer.count("ft.rank_dead", rank)
+        aud = self.cluster.auditor
+        if aud is not None:
+            aud.note_rank_dead(rank)
+        # Resume programs parked on an on-demand setup toward the dead
+        # rank: the connection exchange will never complete.
+        cm = self.cluster.cm
+        if cm is not None:
+            for pair in [p for p in cm._pending if rank in p]:
+                sig = cm._pending.pop(pair)
+                if not sig.fired:
+                    sig.fail(self.sim, RankFailedError(failure))
+        for ep in eps:
+            if ep.rank != rank and ep.rank not in self.dead:
+                self._sever(ep, rank)
+        # Drop remaining detector state involving the dead rank (its own
+        # observations, plus pairs cleared by _sever).
+        for key in [k for k in self._watch if rank in k]:
+            del self._watch[key]
+            self._rounds.pop(key, None)
+
+    def _sever(self, ep: "Endpoint", rank: int) -> None:
+        """Cut one survivor loose from the dead rank: error the QP, drain
+        its flushed completions, fail every pending operation toward the
+        peer, and wake the survivor's progress loop so it observes the
+        PROC_FAILED completions."""
+        conn = ep.connections.get(rank)
+        if conn is not None:
+            conn.qp.force_error()  # idempotent
+            self._drain_dead_wcs(ep, conn)
+            for pending in conn.backlog:
+                ref = pending.request
+                req = getattr(ref, "request", ref)  # RndvSendOp carries .request
+                if req is not None:
+                    self.fail_request(ep, req, rank)
+            conn.backlog.clear()
+            conn.deferred.clear()
+            conn.cq_stash.clear()
+            ep._backlogged.discard(rank)
+        for sreq_id in [k for k, op in ep._rndv_send.items() if op.dst == rank]:
+            op = ep._rndv_send.pop(sreq_id)
+            if op.mr is not None and not op.bounce:
+                ep.pindown.release(op.buffer_id, op.mr)
+            self.fail_request(ep, op.request, rank)
+        for rreq_id in [k for k, op in ep._rndv_recv.items() if op.src == rank]:
+            op = ep._rndv_recv.pop(rreq_id)
+            if not op.bounce:
+                ep.pindown.release(op.buffer_id, op.mr)
+            self.fail_request(ep, op.request, rank)
+        for req in self._watch.pop((ep.rank, rank), ()):
+            self.fail_request(ep, req, rank)
+        self._rounds.pop((ep.rank, rank), None)
+        self._wake(ep)
+
+    def _drain_dead_wcs(self, ep: "Endpoint", conn: "Connection") -> None:
+        """Remove the dead QP's un-polled error completions from the
+        survivor's CQ, reclaiming vbuf/posted-recv bookkeeping.  Success
+        completions stay: they are real pre-death deliveries and must be
+        processed in FIFO order (same contract as connection recovery)."""
+        from collections import deque
+
+        qpn = conn.qp.qp_num
+        kept = deque()
+        for wc in ep.cq._entries:
+            if not wc.ok and wc.qp_num == qpn:
+                ep._reclaim_error_wc(wc)
+            else:
+                kept.append(wc)
+        ep.cq._entries = kept
+
+    def _wake(self, ep: "Endpoint") -> None:
+        """Fire the survivor's progress-wait signals so a program parked
+        in wait()/waitall() observes its PROC_FAILED completions."""
+        cq = ep.cq
+        if cq._notify is not None:
+            sig, cq._notify = cq._notify, None
+            sig.fire(self.sim, None)
+        ep._ring_signal_fire()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "dead": sorted(self.dead),
+            "suspicions": self.suspicions,
+            "pings_sent": self.pings_sent,
+            "pongs_sent": self.pongs_sent,
+            "pongs_received": self.pongs_received,
+            "proc_failed_requests": self.proc_failed,
+            "failures": [f.to_dict() for f in self.failures],
+        }

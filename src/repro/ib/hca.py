@@ -69,6 +69,9 @@ class HCA:
         #: (timeout_ns, retry_limit) once a FaultInjector arms transport
         #: retries; QPs created afterwards (on-demand connections) inherit.
         self.fault_transport = None
+        #: set by :meth:`kill` (rank-death fault): both engines stop for
+        #: good and inbound packets vanish — the adapter answers nothing.
+        self.dead = False
         fabric.attach(lid, self)
 
     # ------------------------------------------------------------------
@@ -121,11 +124,26 @@ class HCA:
         if resume > self._recv_busy:
             self._recv_busy = resume
 
+    def kill(self) -> None:
+        """Fault hook (rank death): the adapter dies outright.  Every
+        owned QP goes to ERROR with its outstanding work flushed; the
+        send and receive engines stop permanently; packets arriving from
+        the wire are absorbed without ACK, NAK, or completion.  Peers
+        observe pure silence — detecting it is the failure detector's
+        job, not the transport's."""
+        if self.dead:
+            return
+        self.dead = True
+        for qp in list(self._qps.values()):
+            qp.force_error()
+
     # ------------------------------------------------------------------
     # send engine
     # ------------------------------------------------------------------
     def _kick(self, qp: QueuePair) -> None:
         """A QP may have become injectable; enqueue it and poke the engine."""
+        if self.dead:
+            return
         if qp.qp_num not in self._in_ready and qp._next_injectable() is not None:
             self._ready.append(qp)
             self._in_ready.add(qp.qp_num)
@@ -140,6 +158,8 @@ class HCA:
 
     def _pump(self) -> None:
         self._pump_scheduled = False
+        if self.dead:
+            return
         now = self.sim.now
         if self._send_busy > now:
             self._schedule_pump()
@@ -176,6 +196,8 @@ class HCA:
         *engine service time*, not wire-arrival time, so line-rate bursts
         released by head-of-line blocking do not spuriously NAK as long as
         software keeps re-posting at the engine's pace."""
+        if self.dead:
+            return  # dead adapter: the packet vanishes, nothing answers
         start = max(self.sim.now, self._recv_busy)
         if msg.opcode is Opcode.RDMA_WRITE or msg.is_read_response:
             cost = self.config.hca_rdma_rx_ns  # no WQE consume, no CQE
@@ -201,6 +223,8 @@ class HCA:
         self._rx_process(msg)
 
     def _rx_process(self, msg: _Message) -> None:
+        if self.dead:
+            return  # packets queued before death are never serviced
         qp = self._qps.get(msg.dst_qpn)
         if qp is None:
             return  # packet to a destroyed QP: silently dropped
@@ -225,6 +249,8 @@ class HCA:
 
     def _respond_read(self, qp: QueuePair, msg: _Message, mr) -> None:
         """Stream RDMA-read data back to the requester."""
+        if self.dead:
+            return
         response = _Message.__new__(_Message)
         response.src_lid = self.lid
         response.src_qpn = qp.qp_num

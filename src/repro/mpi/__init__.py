@@ -8,7 +8,7 @@ flow-control schemes (:mod:`repro.core`).
 """
 
 from repro.mpi.buffer_pool import SendBufferPool
-from repro.mpi.comm import Communicator, world
+from repro.mpi.comm import CommRevokedError, Communicator, world
 from repro.mpi.config import MPIConfig
 from repro.mpi.connection import Connection, ConnStats, PendingSend
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG, TAG_UB, WORLD_CONTEXT
@@ -16,11 +16,12 @@ from repro.mpi.endpoint import Endpoint, MPIError, TruncationError
 from repro.mpi.matching import MatchingEngine, PostedRecv
 from repro.mpi.pindown_cache import PinDownCache
 from repro.mpi.protocol import Header, MsgKind
-from repro.mpi.request import Request, Status
+from repro.mpi.request import PROC_FAILED, Request, Status
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "CommRevokedError",
     "Communicator",
     "world",
     "Connection",
@@ -34,6 +35,7 @@ __all__ = [
     "PendingSend",
     "PinDownCache",
     "PostedRecv",
+    "PROC_FAILED",
     "Request",
     "SendBufferPool",
     "Status",

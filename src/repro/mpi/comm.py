@@ -23,6 +23,13 @@ from repro.mpi.endpoint import Endpoint, MPIError
 from repro.mpi.request import Request, Status
 
 
+class CommRevokedError(MPIError):
+    """Raised by communication on a revoked communicator (ULFM's
+    MPI_ERR_REVOKED): after :meth:`Communicator.revoke`, every operation
+    on the communicator fails until the survivors :meth:`~Communicator.
+    shrink` a fresh one."""
+
+
 class Communicator:
     """A group + context view over an endpoint."""
 
@@ -40,6 +47,7 @@ class Communicator:
         self.size = len(self.group)
         self._coll_seq = endpoint._coll_seq  # shared, keyed by context
         self._next_child = 1
+        self._revoked = False
 
     # ------------------------------------------------------------------
     # rank translation
@@ -73,11 +81,15 @@ class Communicator:
         return self.endpoint.now
 
     def isend(self, dest: int, size: int, **kwargs) -> Generator:
+        if self._revoked:
+            raise CommRevokedError(f"communicator ctx={self.context} is revoked")
         kwargs.setdefault("context", self.context)
         req = yield from self.endpoint.isend(self.world_rank(dest), size, **kwargs)
         return req
 
     def irecv(self, source: int = ANY_SOURCE, capacity: int = 0, **kwargs) -> Generator:
+        if self._revoked:
+            raise CommRevokedError(f"communicator ctx={self.context} is revoked")
         kwargs.setdefault("context", self.context)
         src = source if source == ANY_SOURCE else self.world_rank(source)
         req = yield from self.endpoint.irecv(src, capacity, **kwargs)
@@ -110,6 +122,7 @@ class Communicator:
                 tag=status.tag,
                 size=status.size,
                 payload=status.payload,
+                error=status.error,
             )
         return status
 
@@ -198,6 +211,43 @@ class Communicator:
         )
         group = [self.world_rank(r) for _, r in members]
         return Communicator(self.endpoint, group, ctx)
+
+    # ------------------------------------------------------------------
+    # ULFM-style fault tolerance (repro.ft)
+    # ------------------------------------------------------------------
+    @property
+    def revoked(self) -> bool:
+        return self._revoked
+
+    def revoke(self) -> None:
+        """Local half of MPI_Comm_revoke: mark the communicator unusable
+        so no further operation is posted on it.  (Real ULFM floods a
+        revocation token; here each survivor revokes after observing a
+        PROC_FAILED status or a dead member — deterministic, no extra
+        traffic.)"""
+        self._revoked = True
+
+    def failed_ranks(self) -> List[int]:
+        """Group-local ranks of members the failure detector declared
+        dead (empty without ``run_job(..., ft=True)``)."""
+        ft = self.endpoint._ft
+        if ft is None:
+            return []
+        return [i for i, w in enumerate(self.group) if w in ft.dead]
+
+    def shrink(self) -> "Communicator":
+        """MPI_Comm_shrink: a new communicator over the surviving members.
+        Agreement needs no communication here — every survivor's detector
+        converges on the same ``dead`` set (one shared FTManager), and the
+        child context derives deterministically, so all survivors
+        construct matching groups.  Usable on a revoked communicator (that
+        is its purpose)."""
+        ft = self.endpoint._ft
+        dead = ft.dead if ft is not None else ()
+        group = [w for w in self.group if w not in dead]
+        if self.endpoint.rank not in group:
+            raise MPIError(f"rank {self.endpoint.rank} shrink()ing as a dead member")
+        return Communicator(self.endpoint, group, self._child_context())
 
 
 def world(endpoint: Endpoint) -> Communicator:

@@ -37,6 +37,7 @@ from repro.mpi.pindown_cache import PinDownCache
 from repro.mpi.protocol import Header, MsgKind
 from repro.mpi.rendezvous import BounceRegion, RndvRecvOp, RndvSendOp, next_op_id
 from repro.mpi.request import Request, Status
+from repro.ft.failures import RankFailedError
 from repro.sim import AnyOf, Simulator, Timeout
 from repro.sim.trace import Tracer
 
@@ -125,6 +126,14 @@ class Endpoint:
         #: connection recovery manager (repro.recovery); None = disabled,
         #: same zero-cost hook pattern as the auditor.
         self._recovery = None
+        #: rank-failure tolerance manager (repro.ft); None = disabled,
+        #: same zero-cost hook pattern as the auditor.
+        self._ft = None
+        #: rank-death fault: once halted, every MPI entry point and the
+        #: progress engine park forever (the process is dead; its state
+        #: must stop mutating even as flushed completions hit the CQ).
+        self._halted = False
+        self._halt_signal = None
 
         # observability
         self.bytes_sent = 0
@@ -208,15 +217,27 @@ class Endpoint:
         if size < 0:
             raise MPIError(f"negative message size {size}")
         req = Request(self.sim, "send")
+        if self._ft is not None:
+            if self._ft.fail_if_dead(self, req, dest):
+                return req
+            self._ft.watch(self, req, dest)
         # Fast path: the connection almost always exists already; skip the
         # sub-generator (and its per-call frame) entirely when it does.
         conn = self.connections.get(dest)
         if conn is None:
-            conn = yield from self._ensure_connected(dest)
+            try:
+                conn = yield from self._ensure_connected(dest)
+            except RankFailedError:
+                # dest died while the on-demand setup exchange was parked;
+                # the request completes with PROC_FAILED, never hangs
+                self._ft.fail_request(self, req, dest)
+                return req
         self.bytes_sent += size
         if self._audit is not None:
             self._audit.on_app_send(self.rank, dest, tag, context, size)
         yield self._t_call
+        if req.done:  # dest declared dead while this call was parked
+            return req
 
         cfg = self.config
         if mode != "sync" and size <= (cfg.rndv_min_bytes or cfg.vbuf_bytes - cfg.header_bytes):
@@ -246,6 +267,8 @@ class Endpoint:
                     cost = self._emit_ring(conn, header, req)
                 else:
                     yield from self._await_pool(control=False)
+                    if req.done:  # dest declared dead during the pool wait
+                        return req
                     cost = self._emit(conn, header, "eager", req, control=False)
                 yield Timeout(cost)
             else:
@@ -262,6 +285,10 @@ class Endpoint:
             else:
                 mr, pin_cost = self.pindown.acquire(buffer_id, size)
             yield Timeout(pin_cost)
+            if req.done:  # dest declared dead while pinning
+                if mr is not None:
+                    self.pindown.release(buffer_id, mr)
+                return req
             op = RndvSendOp(
                 sreq_id=next_op_id(),
                 request=req,
@@ -293,6 +320,8 @@ class Endpoint:
                 if self._audit is not None:
                     self._audit.on_consume(conn)
                 yield from self._await_pool(control=False)
+                if req.done:  # dest declared dead during the pool wait
+                    return req
                 cost = self._emit(conn, header, "ctl", None, control=False)
                 op.rts_sent = True
                 yield Timeout(cost)
@@ -326,6 +355,13 @@ class Endpoint:
         if source != ANY_SOURCE:
             self._check_peer(source)
         req = Request(self.sim, "recv")
+        if (
+            self._ft is not None
+            and source != ANY_SOURCE
+            and self._ft.fail_if_dead(self, req, source)
+        ):
+            yield self._t_call
+            return req
         yield self._t_call
         posted = PostedRecv(source, tag, context, capacity, req, buffer_id)
         unexpected = self.matching.post_recv(posted)
@@ -347,6 +383,10 @@ class Endpoint:
                 self._check_capacity(h, capacity)
                 cost = self._rndv_recv_start(h, posted)
                 yield Timeout(cost)
+        elif self._ft is not None and source != ANY_SOURCE:
+            # nothing arrived yet: the peer's liveness now gates this
+            # request, so the failure detector watches it
+            self._ft.watch(self, req, source)
         # Open-coded idle _poll_once, as in isend.
         yield self._t_poll
         if self.cq._entries or self._ring_dirty:
@@ -402,6 +442,8 @@ class Endpoint:
         # generic loop — determinism depends on it.
         cq = self.cq
         while not request.done:
+            if self._halted:
+                yield self._halt_signal  # never fires: this rank is dead
             # Inline idle _poll_once (same yield sequence).
             yield self._t_poll
             if cq._entries or self._ring_dirty:
@@ -529,18 +571,27 @@ class Endpoint:
         inbound control traffic parks in posted vbufs without needing this
         rank's attention (no RNR livelock)."""
         yield from self._progress_until(self._locally_quiescent)
+        if self._ft is not None:
+            # With the failure detector armed, finalize must not world-
+            # synchronize: a rank can enter the barrier before a death is
+            # declared while another skips it after — an asymmetric hang.
+            # ULFM semantics: quiesce locally, never wait on membership.
+            self.finalized = True
+            return
         yield from self.barrier()
         yield from self._progress_until(self._locally_quiescent)
         self.finalized = True
 
     def _locally_quiescent(self) -> bool:
+        dead = self._ft.dead if self._ft is not None else ()
         return (
             all(
                 not c.backlog
                 and not c.recovering
                 and not c.deferred
                 and c.qp.outstanding_sends == 0
-                for c in self.connections.values()
+                for p, c in self.connections.items()
+                if p not in dead  # severed state toward dead peers is frozen
             )
             and not self._rndv_send
             and not self._send_ctx  # every completion polled (pool released)
@@ -577,6 +628,8 @@ class Endpoint:
         from repro.sim import AnyOf
 
         while not pred():
+            if self._halted:
+                yield self._halt_signal  # never fires: this rank is dead
             yield from self._poll_once()
             if pred():
                 return
@@ -591,6 +644,8 @@ class Endpoint:
         charging its CPU cost); drains backlogs afterwards.  Idle
         connections cost nothing: only rings flagged dirty by an RDMA
         deposit are examined."""
+        if self._halted:
+            return  # dead rank: resumed mid-loop by a stale wakeup
         yield self._t_poll
         # Idle fast path: nothing completed, no ring flagged dirty — the
         # common case for the opportunistic poke every MPI call performs.
@@ -605,6 +660,10 @@ class Endpoint:
     def _poll_busy(self) -> Generator:
         """The non-idle tail of :meth:`_poll_once` (poll overhead already
         charged by the caller)."""
+        if self._halted:
+            # A dead rank processes nothing: flushed completions from its
+            # errored QPs must not mutate its (frozen) protocol state.
+            return
         if self._stall_until > self.sim.now:
             # Fault model: a stalled (descheduled) consumer handles no
             # completions at all — arrivals pile up in the CQ, posted
@@ -659,6 +718,11 @@ class Endpoint:
                 yield Timeout(cost)
 
     def _handle_wc(self, wc: WC) -> int:
+        if self._halted:
+            # A Timeout scheduled before this rank died can resume its
+            # generator mid-CQ-drain, past _poll_busy's entry guard; the
+            # remaining completions (now flushes) must not be processed.
+            return 0
         if not wc.ok:
             return self._handle_error_wc(wc)
         if wc.is_recv:
@@ -698,6 +762,13 @@ class Endpoint:
         without one, the job fails promptly with a structured record —
         the pre-recovery behaviour was to leak the vbuf and hang until
         the progress watchdog tripped."""
+        if self._ft is not None:
+            # Rank death first: an error completion explained by a dead
+            # peer is absorbed (and may *be* the detection — transport
+            # retry exhaustion against a dead HCA confirms the failure).
+            cost = self._ft.on_error_wc(self, wc)
+            if cost is not None:
+                return cost
         if self._recovery is not None:
             return self._recovery.on_error_wc(self, wc)
         self._reclaim_error_wc(wc)
@@ -756,6 +827,9 @@ class Endpoint:
         cost = self.config.header_proc_ns
         conn.seq_in_expected += 1
 
+        if self._ft is not None:
+            # liveness piggyback: any delivery proves the peer is alive
+            self._ft.on_heard(self.rank, conn.peer)
         if h.credits:
             self.scheme.on_credits_received(conn, h.credits)
         if self._audit is not None:
@@ -975,6 +1049,12 @@ class Endpoint:
         """Stage a protocol message into a vbuf and post it.  The caller
         must have verified pool availability (``_pool_ok``).  Returns CPU
         cost."""
+        if self._halted or (self._ft is not None and conn.peer in self._ft.dead):
+            # A dead rank emits nothing; toward a dead peer there is no
+            # one to emit to (the QP is in ERROR — post_send would raise).
+            # Any request this message carried was already completed with
+            # PROC_FAILED by the failure manager.
+            return 0
         if conn.recovering:
             # QP pair mid-re-establishment: park the emission (no vbuf, no
             # sequence number) — the manager re-emits deferred messages
@@ -1095,6 +1175,8 @@ class Endpoint:
         """Write an eager message into the peer's RDMA ring (no vbuf, no
         remote WQE).  Buffered-send semantics: the request completes at
         emission."""
+        if self._halted or (self._ft is not None and conn.peer in self._ft.dead):
+            return 0  # see _emit: dead rank / dead peer, nothing to post
         if conn.recovering:
             # Same parking rule as _emit: no slot, no sequence number; the
             # recovery manager re-emits deferred ring writes FIFO after
@@ -1135,6 +1217,9 @@ class Endpoint:
         """
         cost = self.config.rdma_poll_ns + self.config.header_proc_ns
         conn.seq_in_expected += 1
+        if self._ft is not None:
+            # liveness piggyback: any ring arrival proves the peer alive
+            self._ft.on_heard(self.rank, conn.peer)
         if h.credits:
             self.scheme.on_credits_received(conn, h.credits)
         if self._audit is not None:
@@ -1245,6 +1330,8 @@ class Endpoint:
         handshake at a time per connection)."""
         if conn.recovering:
             return 0  # stale credit state; the resync re-drains
+        if self._halted or (self._ft is not None and conn.peer in self._ft.dead):
+            return 0  # dead rank / dead peer: nothing drains (see _emit)
         cost = 0
         # Credit-less schemes only ever backlog while a connection is
         # recovering; their drain gate is the vbuf pool alone (there are
@@ -1372,6 +1459,17 @@ class Endpoint:
     # ------------------------------------------------------------------
     # fault-injection hooks (driven by repro.faults.FaultInjector)
     # ------------------------------------------------------------------
+    def halt(self) -> None:
+        """Fault hook (rank death): freeze this rank's program for good.
+        The progress loops park on a signal that never fires, stray
+        timer-driven resumptions fall through emission guards, and no
+        state mutates after this point — the rank is simply gone."""
+        from repro.sim import Signal
+
+        self._halted = True
+        if self._halt_signal is None:
+            self._halt_signal = Signal(f"halted.{self.rank}")
+
     def fault_stall(self, duration_ns: int) -> None:
         """Start (or extend) a receiver-stall window: the rank stops
         re-posting vbufs and withholds paid credit returns, modelling a

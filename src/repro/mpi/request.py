@@ -17,14 +17,26 @@ from repro.sim import Signal, Simulator
 _req_ids = itertools.count(1)
 
 
+#: ``Status.error`` value for an operation completed against a rank the
+#: failure detector declared dead (ULFM's MPI_ERR_PROC_FAILED).
+PROC_FAILED = "PROC_FAILED"
+
+
 @dataclass
 class Status:
-    """Completion information for a receive."""
+    """Completion information for a receive.
+
+    ``error`` is ``None`` on success; a completed-in-error operation
+    (e.g. the peer died) carries a short code such as
+    :data:`PROC_FAILED` — the operation *completes* either way, it
+    never hangs.
+    """
 
     source: int = -1
     tag: int = -1
     size: int = 0
     payload: Any = None
+    error: Optional[str] = None
 
 
 class Request:

@@ -28,6 +28,13 @@ class ConnectionFailure:
     elapsed_ns: int  #: simulated time of the failure
     attempts: int  #: recovery attempts consumed (0 = recovery disabled)
 
+    def dedup_key(self) -> tuple:
+        """Stable identity for set-based dedup on ``JobResult.failures``:
+        both ends report the same loss, keyed by unordered pair + QP
+        incarnation (a later re-failure of the pair is a new record)."""
+        lo, hi = (self.rank, self.peer) if self.rank < self.peer else (self.peer, self.rank)
+        return ("connection", lo, hi, self.epoch)
+
     def to_dict(self) -> dict:
         return asdict(self)
 

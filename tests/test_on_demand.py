@@ -215,6 +215,62 @@ def test_stale_fired_memo_self_heals_on_next_request():
     assert 1 in cluster.endpoints[0].connections
 
 
+def test_repeated_teardown_of_same_pair_counts_each_loss():
+    """The same pair failing permanently twice must tear down twice —
+    the counters accumulate and the memo is fresh each cycle (a stale
+    entry would hand the second failure a fired signal for a corpse)."""
+    cluster = Cluster(TestbedConfig(nodes=4))
+    cluster.launch(4, make_scheme("static"), prepost=4, on_demand=True)
+    cm = cluster.cm
+    policy = RecoveryPolicy(max_attempts=1, base_delay_ns=us(20),
+                            max_delay_ns=us(100), jitter_ns=us(5))
+    tag = 0
+    for cycle in (1, 2):
+        # heal: wire the pair fresh (tags keep runs from cross-matching)
+        ok = run_job(_pair_program(tag), 4, "static", prepost=4,
+                     cluster=cluster, finalize=False)
+        tag += 1
+        assert ok.completed
+        assert cm.established == cycle
+        # break it for good: outage outlives transport + recovery budgets
+        plan = (FaultPlan(seed=cycle, transport_timeout_ns=us(40),
+                          transport_retry_limit=2)
+                .link_flap(lid=1, at_ns=cluster.sim.now + 1,
+                           duration_ns=10**12))
+        bad = run_job(_pair_program(tag), 4, "static", prepost=4,
+                      cluster=cluster, finalize=False, faults=plan,
+                      recovery=policy)
+        tag += 1
+        assert not bad.completed
+        assert cm.torn_down == cycle
+        assert 1 not in cluster.endpoints[0].connections
+        assert (0, 1) not in cm._pending
+
+
+def test_repeated_stale_memo_invalidations_accumulate():
+    """Every rude teardown (bypassing ``cm.teardown``) of the same pair
+    is healed independently: the fired memo is dropped and the handshake
+    re-runs, however many times it happens."""
+    cluster = Cluster(TestbedConfig(nodes=2))
+    cluster.launch(2, make_scheme("static"), prepost=4, on_demand=True)
+    cm = cluster.cm
+    ep0 = cluster.endpoints[0]
+    sig = cm.request(ep0, 1)
+    cluster.sim.run(max_events=100_000)
+    assert sig.fired and cm.established == 1
+
+    for n in (1, 2, 3):
+        cluster.endpoints[0].connections.pop(1)  # no cm.teardown call
+        cluster.endpoints[1].connections.pop(0)
+        fresh = cm.request(ep0, 1)
+        assert fresh is not sig
+        assert cm.invalidated == n
+        cluster.sim.run(max_events=100_000)
+        assert fresh.fired and cm.established == 1 + n
+        sig = fresh
+    assert 1 in cluster.endpoints[0].connections
+
+
 def test_unused_peer_never_connected():
     def prog(mpi):
         if mpi.rank in (0, 1):
